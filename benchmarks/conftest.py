@@ -1,0 +1,24 @@
+"""Shared helpers for the per-figure benchmark harness.
+
+Every file here regenerates one table or figure of the paper (quick-mode
+problem sizes), asserts its qualitative claims, and prints the formatted
+series so ``pytest benchmarks/ --benchmark-only -s`` reproduces the
+evaluation section end to end.  Experiments run once per benchmark round
+(``pedantic`` with one round) because a single run already takes seconds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Benchmark a callable exactly once and return its result."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(
+            fn, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0
+        )
+
+    return runner

@@ -1,0 +1,84 @@
+"""Ablation benches over the substitutable model components (§3.3).
+
+The paper's simulation architecture exists so components can be swapped
+"to trade off issues of efficiency, accuracy, and detail"; these benches
+sweep each choice and assert the directional expectations.
+"""
+
+from repro.experiments import ablations
+
+
+def test_barrier_algorithms(run_once):
+    res = run_once(ablations.barrier_algorithms, quick=True)
+    print()
+    print(res.format())
+    top = max(res.series["linear"])
+    assert res.series["hardware"][top] <= res.series["linear"][top]
+    assert res.series["hardware"][top] <= res.series["log"][top]
+
+
+def test_topologies(run_once):
+    res = run_once(ablations.topologies, quick=True)
+    print()
+    print(res.format())
+    top = max(res.series["bus"])
+    # Bisection-1 bus degrades hardest under contention.
+    assert res.series["bus"][top] >= res.series["crossbar"][top]
+    assert res.series["bus"][top] >= res.series["fattree"][top]
+
+
+def test_contention(run_once):
+    res = run_once(ablations.contention, quick=True)
+    print()
+    print(res.format())
+    top = max(res.series["off"])
+    # Stronger contention -> slower; off is the floor.
+    assert (
+        res.series["off"][top]
+        <= res.series["factor=0.5"][top]
+        <= res.series["factor=1.0"][top]
+        <= res.series["factor=2.0"][top]
+    )
+
+
+def test_poll_interval(run_once):
+    res = run_once(ablations.poll_interval, quick=True)
+    print()
+    print(res.format())
+    # All intervals complete; the sweep exposes the trade-off the paper
+    # mentions (optimal interval is system- and problem-specific).
+    assert len(res.series) == 4
+
+
+def test_placement(run_once):
+    res = run_once(ablations.placement, quick=True)
+    print()
+    print(res.format())
+    for p in res.series["natural placement"]:
+        assert (
+            res.series["shuffled placement"][p]
+            >= res.series["natural placement"][p]
+        )
+
+
+def test_noise_sensitivity(run_once):
+    res = run_once(ablations.noise_sensitivity, quick=True)
+    print()
+    print(res.format())
+    # Predictions must not amplify measurement noise: the spread at 10%
+    # input noise stays under 2x the noise level.
+    for note in res.notes:
+        if note.startswith("noise=10%"):
+            spread = float(note.split("spread ")[1].split("%")[0]) / 100.0
+            assert spread < 0.20
+
+
+def test_overhead_compensation(run_once):
+    res = run_once(ablations.overhead_compensation, quick=True)
+    print()
+    print(res.format())
+    clean = res.series["ideal time"][1]
+    raw = res.series["ideal time"][2]
+    comp = res.series["ideal time"][3]
+    assert raw > clean  # instrumentation inflates the uncompensated ideal
+    assert abs(comp - clean) < abs(raw - clean) * 0.1  # compensation works

@@ -1,0 +1,49 @@
+"""DES engine and pipeline throughput micro-benchmarks.
+
+Not a paper figure: keeps an eye on the simulator's own performance
+("the trade-off in accuracy can be found in the utility and *speed* of
+extrapolation"), so regressions in the substrate show up here.
+"""
+
+from repro.core import presets
+from repro.core.pipeline import extrapolate, measure
+from repro.des import Environment, Store
+from repro.experiments.paramsets import suite_configs
+from repro.bench import BENCHMARKS
+
+
+def test_event_loop_throughput(benchmark):
+    def run():
+        env = Environment()
+
+        def ping(env, store_in, store_out, rounds):
+            for _ in range(rounds):
+                yield store_in.get()
+                yield env.timeout(1.0)
+                yield store_out.put(None)
+
+        a, b = Store(env), Store(env)
+        env.process(ping(env, a, b, 500))
+        env.process(ping(env, b, a, 500))
+        a.put(None)
+        env.run(None)
+        return env.processed_event_count
+
+    events = benchmark(run)
+    assert events > 1000
+
+
+def test_full_pipeline_grid_16(run_once):
+    cfg = suite_configs(quick=True)["grid"]
+    maker = BENCHMARKS["grid"].make_program(cfg)
+
+    def pipeline():
+        trace = measure(maker(16), 16, name="grid", size_mode="actual")
+        return extrapolate(trace, presets.distributed_memory())
+
+    outcome = run_once(pipeline)
+    assert outcome.predicted_time > 0
+    print(
+        f"\n  grid@16: {len(outcome.trace)} events -> "
+        f"{outcome.result.network.messages} messages simulated"
+    )

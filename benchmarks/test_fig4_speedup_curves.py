@@ -1,0 +1,37 @@
+"""Figure 4 — speedup curves for all benchmarks.
+
+Paper claims checked here:
+
+* Embar delivers (near-)linear speedup;
+* Cyclic and Poisson show reasonable speedup improvement;
+* the other codes are more severely affected by communication or
+  synchronisation costs;
+* Grid and Mgrid show no improvement from 4 to 8 processors (the
+  (BLOCK, BLOCK) idle-processor artifact).
+"""
+
+from repro.experiments import fig4
+
+
+def test_fig4(run_once):
+    res = run_once(fig4.run, quick=True)
+    print()
+    print(res.format())
+
+    s = res.series
+    top = 32
+    # Embar near-linear: at least half the ideal slope at 32.
+    assert s["embar"][top] > 16
+    # Cyclic and Poisson: "reasonable speedup improvement".
+    assert s["cyclic"][top] > 4
+    assert s["poisson"][16] > 4
+    # Severely affected codes stay well below the reasonable group.
+    assert s["grid"][top] < s["cyclic"][top]
+    assert s["mgrid"][top] < s["cyclic"][top]
+    assert s["sparse"][top] < s["poisson"][16]
+    # The 4->8 plateau for the (BLOCK, BLOCK) codes.
+    for name in ("grid", "mgrid"):
+        ratio = s[name][8] / s[name][4]
+        assert ratio < 1.15, f"{name} should not improve 4->8 (got x{ratio:.2f})"
+    # Speedup at 1 processor is 1 by construction.
+    assert all(series[1] == 1.0 for series in s.values())

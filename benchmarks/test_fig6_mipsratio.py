@@ -1,0 +1,43 @@
+"""Figure 6 — execution time and speedup with different MipsRatio.
+
+Paper claims checked:
+
+* (i) Embar execution time tracks MipsRatio (exactly 4x between 2.0 and
+  0.5 where compute dominates);
+* (ii) Cyclic speedup shows little effect of varying MipsRatio;
+* (iv) Mgrid speedup responds strongly (its comp/comm ratio shifts).
+"""
+
+from repro.experiments import fig6
+
+
+def spread(series_by_ratio, p):
+    vals = [s[p] for s in series_by_ratio if p in s]
+    return max(vals) / min(vals) - 1.0
+
+
+def test_fig6(run_once):
+    res = run_once(fig6.run, quick=True)
+    print()
+    print(res.format())
+
+    # Embar: time scales with MipsRatio at P=1 (no communication).
+    ratio = res.series["embar@x2.0"][1] / res.series["embar@x0.5"][1]
+    assert abs(ratio - 4.0) < 0.05
+
+    # Slower processors always mean longer embar times at every P.
+    for p in res.series["embar@x1.0"]:
+        assert (
+            res.series["embar@x2.0"][p]
+            > res.series["embar@x1.0"][p]
+            > res.series["embar@x0.5"][p]
+        )
+
+    # Mgrid's speedup is far more MipsRatio-sensitive than Cyclic's.
+    cyclic = [res.series[f"cyclic@x{r}"] for r in (2.0, 1.0, 0.5)]
+    mgrid = [res.series[f"mgrid@x{r}"] for r in (2.0, 1.0, 0.5)]
+    assert spread(mgrid, 32) > 2 * spread(cyclic, 32)
+
+    # Slower processors improve *speedup* for the comm-bound code
+    # (communication stays fixed while compute grows).
+    assert res.series["mgrid@x2.0"][32] > res.series["mgrid@x0.5"][32]

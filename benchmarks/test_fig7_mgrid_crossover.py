@@ -1,0 +1,36 @@
+"""Figure 7 — effect of MipsRatio and CommStartupTime on Mgrid.
+
+Paper claim: the processor count delivering minimum execution time
+shifts to fewer processors when the target CPU is faster (MipsRatio
+0.25 vs 1.0) — communication overhead starts dominating earlier.
+"""
+
+from repro.experiments import fig7
+
+
+def test_fig7(run_once):
+    res = run_once(fig7.run, quick=True)
+    print()
+    print(res.format())
+
+    def best(ratio, startup):
+        series = res.series[f"mips={ratio} startup={startup:g}us"]
+        return min(series, key=series.get)
+
+    for startup in (5.0, 100.0, 200.0):
+        # The faster processor's optimum is at most the slower one's.
+        assert best(0.25, startup) <= best(1.0, startup)
+
+    # Higher start-up cost never helps.
+    for ratio in (1.0, 0.25):
+        for p in res.series[f"mips={ratio} startup=5us"]:
+            assert (
+                res.series[f"mips={ratio} startup=5us"][p]
+                <= res.series[f"mips={ratio} startup=100us"][p]
+                <= res.series[f"mips={ratio} startup=200us"][p]
+            )
+
+    # Faster CPU gives faster absolute times everywhere.
+    for startup in (5.0, 100.0, 200.0):
+        for p, t in res.series[f"mips=0.25 startup={startup:g}us"].items():
+            assert t < res.series[f"mips=1.0 startup={startup:g}us"][p]

@@ -1,0 +1,38 @@
+"""Figure 8 — effects of the remote data request service policy.
+
+Paper claims checked (CommStartupTime = 100 us):
+
+* the no-interrupt curve performs the worst for both codes;
+* for Grid, interrupt is the best policy;
+* program execution characteristics determine how much the policy
+  matters (the two codes respond differently).
+"""
+
+from repro.experiments import fig8
+
+
+def test_fig8(run_once):
+    res = run_once(fig8.run, quick=True)
+    print()
+    print(res.format())
+
+    for bench in ("cyclic", "grid"):
+        top = max(res.series[f"{bench}/interrupt"])
+        times = {
+            pol: res.series[f"{bench}/{pol}"][top]
+            for pol in ("no-interrupt", "interrupt", "poll@100us", "poll@1000us")
+        }
+        worst = max(times, key=times.get)
+        assert worst == "no-interrupt", f"{bench}: worst policy is {worst}"
+        # Interrupt is (near-)best for Grid, as the paper observes.
+        if bench == "grid":
+            assert times["interrupt"] == min(times.values())
+            # "only by a maximum of ~tens of percent": same order.
+            assert times["no-interrupt"] < 2.0 * times["interrupt"]
+
+    # Policies cannot matter at P=1 beyond poll overhead.
+    one = {
+        pol: res.series[f"cyclic/{pol}"][1]
+        for pol in ("no-interrupt", "interrupt")
+    }
+    assert one["no-interrupt"] == one["interrupt"]

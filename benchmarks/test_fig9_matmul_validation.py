@@ -1,0 +1,44 @@
+"""Figure 9 / Table 3 — Matmul validation against the (simulated) CM-5.
+
+Paper claims checked:
+
+* the extrapolation, fed only 1-processor traces plus Table 3's CM-5
+  parameters, matches the general shape of the measured curves;
+* the relative ranking of the nine distributions is reasonably
+  preserved (paper: "reasonably match the relative ranking");
+* the predicted best choice is the measured best, or its measured time
+  is within a few percent of the optimum (paper: within 3% at P=32).
+"""
+
+from repro.experiments import fig9, tables
+
+
+def test_table3_preset(run_once):
+    assert tables.table3_matches_paper()
+    print()
+    print(tables.table3())
+
+
+def test_fig9(run_once):
+    res = run_once(fig9.run, quick=True)
+    print()
+    print(res.table())
+    for note in res.notes:
+        print("  ", note)
+
+    predicted, measured = res.predicted, res.measured
+    for p, pred in predicted.items():
+        meas = measured[p]
+        agreement = fig9.ranking_agreement(pred, meas)
+        assert agreement >= 0.6, f"P={p}: ranking agreement {agreement:.2f}"
+        best_pred = min(pred, key=pred.get)
+        best_meas = min(meas, key=meas.get)
+        gap = meas[best_pred] / meas[best_meas] - 1.0
+        assert gap <= 0.10, (
+            f"P={p}: predicted best {best_pred} is {gap:.1%} from optimum"
+        )
+        # Shape: predicted and measured within an order of magnitude for
+        # every distribution (a high-level simulation, not a cycle count).
+        for dist in pred:
+            ratio = pred[dist] / meas[dist]
+            assert 0.2 < ratio < 5.0, f"P={p} {dist}: pred/meas {ratio:.2f}"

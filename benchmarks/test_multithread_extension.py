@@ -1,0 +1,14 @@
+"""The §6 multithreading extension bench: n threads on m processors."""
+
+from repro.experiments import multithread_study
+
+
+def test_multithread_study(run_once):
+    res = run_once(multithread_study.run, quick=True)
+    print()
+    print(res.format())
+    blk = res.series["block"]
+    # The single-processor run serialises all compute: slowest by far.
+    assert blk[1] == max(blk.values())
+    # m=1 identical across schemes (no communication at all).
+    assert blk[1] == res.series["cyclic"][1]

@@ -1,0 +1,35 @@
+"""Paper-scale smoke run: Grid at the §4.1 problem size.
+
+One full pipeline pass over `GridConfig.paper_like()` at 32 threads —
+170k trace events, ~300k simulated messages — checking the trace
+statistic the paper's diagnosis hinged on (around 650 barriers) and that
+the pipeline holds up at realistic scale, not just quick-mode sizes.
+"""
+
+from repro.bench.grid import GridConfig, make_program
+from repro.core import presets
+from repro.core.pipeline import extrapolate, measure
+
+
+def test_paper_scale_grid(run_once):
+    cfg = GridConfig.paper_like()
+    maker = make_program(cfg)
+
+    def pipeline():
+        trace = measure(maker(32), 32, name="grid", size_mode="actual")
+        return trace, extrapolate(trace, presets.distributed_memory())
+
+    trace, outcome = run_once(pipeline)
+    print(
+        f"\n  {len(trace)} events, {trace.barrier_count()} barriers, "
+        f"{outcome.result.network.messages} messages simulated, "
+        f"predicted {outcome.predicted_time / 1e6:.2f}s"
+    )
+    # The §4.1 statistic: "Grid does not have enough barriers (only 650)".
+    assert 550 <= trace.barrier_count() <= 750
+    # Actual transfer sizes are the 2/128-byte pair.
+    assert outcome.trace_stats.remote_bytes_min == 2
+    assert outcome.trace_stats.remote_bytes_max == 128
+    # The suite discipline holds at scale too.
+    assert trace.race_findings == []
+    assert outcome.predicted_time > outcome.ideal_time

@@ -1,0 +1,45 @@
+"""Table 1 — parameters for the barrier model.
+
+Checks the live defaults against the paper's example column and
+micro-benchmarks one barrier episode under each algorithm.
+"""
+
+from repro.core import presets
+from repro.core.pipeline import measure
+from repro.core.translation import translate
+from repro.experiments import tables
+from repro.sim.simulator import simulate
+
+
+def barrier_program(rt):
+    def body(ctx):
+        for _ in range(10):
+            yield from ctx.compute_us(50.0)
+            yield from ctx.barrier()
+
+    return body
+
+
+def test_table1_defaults_match_paper(run_once):
+    assert run_once(tables.table1_matches_paper)
+    print()
+    print(tables.table1())
+
+
+def test_barrier_cost_relations(run_once):
+    """Hardware <= log/linear; Table 1's linear barrier is the ceiling."""
+    tp = translate(measure(barrier_program, 16, name="barriers"))
+
+    def run_all():
+        out = {}
+        for alg in ("linear", "log", "hardware"):
+            params = presets.distributed_memory().with_(barrier={"algorithm": alg})
+            out[alg] = simulate(tp, params).execution_time
+        return out
+
+    times = run_once(run_all)
+    print()
+    for alg, t in times.items():
+        print(f"  {alg:8s} {t:10.1f} us for 10 episodes at P=16")
+    assert times["hardware"] <= times["log"]
+    assert times["hardware"] <= times["linear"]

@@ -1,0 +1,31 @@
+"""Table 2 — the pC++ benchmark codes used for the extrapolation studies.
+
+Runs every suite benchmark once (8 threads, 1 virtual processor,
+internal verification on) and benchmarks the measurement step.
+"""
+
+import pytest
+
+from repro.bench import BENCHMARKS
+from repro.core.pipeline import measure
+from repro.experiments import tables
+from repro.experiments.paramsets import suite_configs
+from repro.trace.validate import validate_trace
+
+
+def test_table2_listing(run_once):
+    text = run_once(tables.table2)
+    print()
+    print(text)
+    for name in ("embar", "cyclic", "sparse", "grid", "mgrid", "poisson", "sort"):
+        assert name in text
+
+
+@pytest.mark.parametrize("name", sorted(set(BENCHMARKS) - {"matmul"}))
+def test_measure_benchmark(name, run_once):
+    info = BENCHMARKS[name]
+    cfg = suite_configs(quick=True)[name]
+    maker = info.make_program(cfg)
+    trace = run_once(measure, maker(8), 8, name=name)
+    validate_trace(trace)
+    print(f"\n  {name}: {len(trace)} events, {trace.barrier_count()} barriers")

@@ -1,0 +1,16 @@
+"""Extended validation bench: predicted vs reference machine for three
+benchmarks (the Figure 9 methodology generalised)."""
+
+from repro.experiments import validation
+
+
+def test_validation_suite(run_once):
+    res = run_once(validation.run, quick=True)
+    print()
+    print(res.format())
+    for name in ("grid", "cyclic", "sort"):
+        pred = res.series[f"{name} pred"]
+        meas = res.series[f"{name} meas"]
+        for p in pred:
+            ratio = pred[p] / meas[p]
+            assert 0.2 < ratio < 5.0, f"{name} P={p}: pred/meas {ratio:.2f}"

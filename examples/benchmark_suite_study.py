@@ -1,0 +1,33 @@
+#!/usr/bin/env python
+"""Figure 4 at the terminal: speedup curves for the whole suite.
+
+Runs every Table 2 benchmark through the extrapolation pipeline at
+1..32 processors under the distributed-memory preset and renders the
+speedup curves as an ASCII plot.
+
+Run:  python examples/benchmark_suite_study.py [--paper]
+"""
+
+import sys
+
+from repro.experiments import fig4
+
+
+def main():
+    quick = "--paper" not in sys.argv
+    if not quick:
+        print("paper-scale problem sizes; this takes a while ...")
+    res = fig4.run(quick=quick)
+    print(res.format())
+    print()
+    print("reading the curves:")
+    print("  - embar rides the diagonal (compute-bound, one reduction);")
+    print("  - cyclic and poisson climb but pay for their exchanges;")
+    print("  - grid/mgrid flatten after 4 processors: the (BLOCK,BLOCK)")
+    print("    distribution uses only isqrt(N)^2 processors, so N=8 runs")
+    print("    on 4 workers with 4 idle — a program artifact that the")
+    print("    extrapolation captures without touching a real machine.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Predicted per-phase profiles: *where* will the time go?
+
+Poisson's fast solver has three algorithmic phases — row transforms,
+transposes, tridiagonal solves.  Phase markers in the program ride
+through measurement, translation, and simulation, so the extrapolated
+traces answer a question no total-time prediction can: which phase
+becomes the bottleneck on which machine?
+
+Run:  python examples/phase_profiling.py
+"""
+
+from repro import extrapolate, measure, presets
+from repro.bench.poisson import PoissonConfig, make_program
+from repro.metrics.phases import phase_stats
+from repro.util.tables import format_table
+
+
+def main():
+    n = 16
+    cfg = PoissonConfig(size=64)
+    trace = measure(make_program(cfg)(n), n, name="poisson", size_mode="actual")
+    print(
+        f"measured {len(trace)} events at {n} threads; extrapolating to "
+        "three environments ...\n"
+    )
+
+    rows = []
+    for preset_name in ("ideal", "cm5", "distributed_memory"):
+        outcome = extrapolate(trace, presets.by_name(preset_name))
+        stats = phase_stats(outcome.result.threads)
+        total = outcome.predicted_time
+        rows.append(
+            [
+                preset_name,
+                total / 1000.0,
+                stats["dst"].total / (n * total),
+                stats["solve"].total / (n * total),
+                stats["transpose"].total / (n * total),
+                stats["transpose"].imbalance,
+            ]
+        )
+
+    print(
+        format_table(
+            [
+                "environment",
+                "time (ms)",
+                "dst share",
+                "solve share",
+                "transpose share",
+                "transpose imbalance",
+            ],
+            rows,
+            title="Poisson: predicted per-phase profile by environment",
+        )
+    )
+    print()
+    print("the transposes (all-to-all communication) swallow the machine")
+    print("as communication gets more expensive — the local transforms'")
+    print("share shrinks correspondingly. One measurement, three profiles.")
+
+
+if __name__ == "__main__":
+    main()

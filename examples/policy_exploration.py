@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Runtime-system what-ifs: remote request service policies (Figure 8).
+
+Should a pC++ port use message interrupts or polling?  At what polling
+interval?  The answers are system- and program-specific; extrapolation
+explores them from one set of traces per processor count.
+
+Run:  python examples/policy_exploration.py
+"""
+
+from repro import extrapolate, measure, presets
+from repro.bench.cyclic import CyclicConfig, make_program as make_cyclic
+from repro.bench.grid import GridConfig, make_program as make_grid
+from repro.util.tables import format_table
+
+POLICIES = [
+    ("no-interrupt", {"policy": "no_interrupt"}),
+    ("interrupt", {"policy": "interrupt"}),
+    ("poll @ 50us", {"policy": "poll", "poll_interval": 50.0}),
+    ("poll @ 200us", {"policy": "poll", "poll_interval": 200.0}),
+    ("poll @ 1000us", {"policy": "poll", "poll_interval": 1000.0}),
+]
+COUNTS = (4, 8, 16, 32)
+
+
+def explore(name, maker, size_mode):
+    base = presets.distributed_memory()
+    traces = {
+        p: measure(maker(p), p, name=name, size_mode=size_mode) for p in COUNTS
+    }
+    rows = []
+    for label, overrides in POLICIES:
+        params = base.with_(processor=overrides)
+        times = [extrapolate(traces[p], params).predicted_time for p in COUNTS]
+        rows.append([label] + [t / 1000.0 for t in times])
+    print(
+        format_table(
+            ["policy"] + [f"P={p} (ms)" for p in COUNTS],
+            rows,
+            title=f"{name}: predicted execution time by service policy",
+        )
+    )
+    best = {}
+    for i, p in enumerate(COUNTS):
+        col = {rows[j][0]: rows[j][i + 1] for j in range(len(rows))}
+        best[p] = min(col, key=col.get)
+    print("  best policy per processor count:", best)
+    print()
+
+
+def main():
+    explore(
+        "cyclic",
+        make_cyclic(CyclicConfig(system_size=1 << 14)),
+        "compiler",
+    )
+    explore(
+        "grid",
+        make_grid(GridConfig(patch_rows=6, patch_cols=6, m=16, iterations=4)),
+        "actual",
+    )
+    print("one trace per processor count answered every row above.")
+
+
+if __name__ == "__main__":
+    main()

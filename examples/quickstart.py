@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Quickstart: predict a program's 8-processor performance from a
+1-processor measurement.
+
+The ExtraP workflow in four steps:
+
+1. write a data-parallel program against the pC++-style runtime API;
+2. measure it: all 8 threads run multiplexed on ONE virtual processor,
+   recording only barrier and remote-access events;
+3. translate + simulate the trace under a target-environment parameter
+   set (here: the Table 3 CM-5);
+4. read off the predicted metrics.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import extrapolate, measure, presets
+from repro.metrics import derive_metrics
+from repro.pcxx import Collection, make_distribution
+
+
+def stencil_program(rt):
+    """A small 1-D relaxation: each thread owns a vector chunk, trades
+    boundary values with its neighbours every sweep."""
+    n = rt.n_threads
+    chunk = 512  # values per thread
+    halo = Collection("halo", make_distribution(n, n, "block"), element_nbytes=16)
+    for t in range(n):
+        halo.poke(t, (0.0, 0.0))  # (left edge, right edge)
+
+    def body(ctx):
+        t = ctx.tid
+        for sweep in range(20):
+            # Read neighbour boundary values (remote element requests).
+            if t > 0:
+                yield from ctx.get(halo, t - 1, nbytes=8)
+            if t < n - 1:
+                yield from ctx.get(halo, t + 1, nbytes=8)
+            # Relax the local chunk: ~4 flops per point.
+            yield from ctx.compute(4 * chunk)
+            yield from ctx.put(halo, t, (float(sweep), float(sweep)))
+            yield from ctx.barrier()
+
+    return body
+
+
+def main():
+    n = 8
+    print(f"measuring {n}-thread run on 1 virtual processor ...")
+    trace = measure(stencil_program, n, name="stencil")
+    print(f"  trace: {len(trace)} events, {trace.barrier_count()} barriers")
+
+    for preset_name in ("ideal", "cm5", "distributed_memory"):
+        params = presets.by_name(preset_name)
+        outcome = extrapolate(trace, params)
+        m = derive_metrics(outcome.result)
+        print(f"\ntarget environment: {preset_name}")
+        print(f"  predicted execution time : {m.execution_time:10.1f} us")
+        print(f"  processor utilisation    : {m.utilization:10.1%}")
+        print(f"  comp/comm ratio          : {m.comp_comm_ratio:10.2f}")
+        print(f"  messages on the network  : {m.messages:10d}")
+
+
+if __name__ == "__main__":
+    main()

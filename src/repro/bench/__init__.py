@@ -1,0 +1,24 @@
+"""The pC++ benchmark suite analogs (paper Table 2) plus Matmul (§4.2).
+
+| name    | description                                      |
+|---------|--------------------------------------------------|
+| embar   | NAS "embarrassingly parallel" benchmark          |
+| cyclic  | Cyclic reduction computation                     |
+| sparse  | NAS random sparse conjugate gradient benchmark   |
+| grid    | Poisson equation on a two dimensional grid       |
+| mgrid   | NAS multigrid solver benchmark                   |
+| poisson | Fast Poisson solver                              |
+| sort    | Bitonic sort module                              |
+| matmul  | Matrix multiply used for the CM-5 validation     |
+
+Each benchmark module exposes a config dataclass and a
+``make_program(cfg)`` returning a per-thread-count program factory; they
+all run real numerical computation (verified internally against serial
+references) while charging virtual compute time through an explicit flop
+model — see DESIGN.md for why this substitution preserves exactly what
+extrapolation consumes.
+"""
+
+from repro.bench.suite import BENCHMARKS, BenchmarkInfo, get_benchmark
+
+__all__ = ["BENCHMARKS", "BenchmarkInfo", "get_benchmark"]

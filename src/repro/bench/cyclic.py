@@ -1,0 +1,193 @@
+"""Cyclic — cyclic reduction computation analog.
+
+Solves a tridiagonal system by the two-level scheme typical of parallel
+cyclic reduction codes:
+
+1. each thread *locally* eliminates the interior of its block of the
+   global system (Thomas-style work, charged as
+   ``8 * system_size / n`` flops), reducing its block to one
+   representative equation;
+2. the n representative equations are solved by **parallel cyclic
+   reduction (PCR)** across threads: ``log2(n)`` elimination steps, each
+   step every thread reading its neighbours' equations at distance
+   ``2^k`` (two remote reads of 32 B) followed by a barrier;
+3. each thread locally back-substitutes its interior
+   (``5 * system_size / n`` flops).
+
+The thread-level PCR runs on a *real* tridiagonal system (seeded,
+diagonally dominant) and the solution is verified against a direct dense
+solve, so the communication skeleton carries genuinely correct math.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.bench.base import ProgramMaker, ilog2, require_power_of_two
+from repro.pcxx import Collection, make_distribution
+from repro.pcxx.runtime import ThreadCtx, TracingRuntime
+from repro.util.rng import DEFAULT_SEED
+
+#: PCR elimination work per equation per step (two neighbour combines).
+FLOPS_PER_PCR_STEP = 14
+#: Local interior elimination / back-substitution flops per unknown.
+FLOPS_ELIMINATE = 8
+FLOPS_BACKSUB = 5
+#: Interior update work per unknown at every PCR step (boundary values
+#: propagate into the block interior).
+FLOPS_STEP_INTERIOR = 2
+#: One equation on the wire: a, b, c, d coefficients.
+EQ_NBYTES = 32
+
+
+@dataclass
+class CyclicConfig:
+    """Problem parameters for Cyclic.
+
+    ``system_size`` is the global unknown count (sets the local compute
+    weight); the thread-level reduced system always has one equation per
+    thread.
+    """
+
+    system_size: int = 1 << 14
+    #: Relative spread of block sizes across threads (0 = perfectly even).
+    #: Real partitions are rarely even; the imbalance also means fast
+    #: threads issue their PCR reads while slow owners are still
+    #: computing — which is what makes the remote-request service policy
+    #: matter (Figure 8).
+    imbalance: float = 0.4
+    seed: int = DEFAULT_SEED
+    verify: bool = True
+
+    def __post_init__(self):
+        if self.system_size < 1:
+            raise ValueError(f"system_size must be >= 1, got {self.system_size}")
+        if not 0.0 <= self.imbalance < 1.0:
+            raise ValueError(f"imbalance must be in [0, 1), got {self.imbalance}")
+
+    def block_shares(self, n: int) -> "np.ndarray":
+        """Unknowns per thread: a deterministic uneven partition."""
+        jitter = np.array([((t * 2654435761) % 97) / 96.0 for t in range(n)])
+        weights = 1.0 + self.imbalance * (jitter - 0.5)
+        return self.system_size * weights / weights.sum()
+
+
+def _reduced_system(cfg: CyclicConfig, n: int) -> np.ndarray:
+    """The size-n reduced tridiagonal system: rows of (a, b, c, d).
+
+    Diagonally dominant so PCR is stable.
+    """
+    rng = np.random.default_rng(np.random.SeedSequence([cfg.seed, n]))
+    a = rng.uniform(0.5, 1.0, n)
+    c = rng.uniform(0.5, 1.0, n)
+    a[0] = 0.0
+    c[-1] = 0.0
+    b = np.abs(a) + np.abs(c) + rng.uniform(1.0, 2.0, n)
+    d = rng.uniform(-1.0, 1.0, n)
+    return np.column_stack([a, b, c, d])
+
+
+def reference_solution(cfg: CyclicConfig, n: int) -> np.ndarray:
+    """Dense direct solve of the reduced system."""
+    eq = _reduced_system(cfg, n)
+    a, b, c, d = eq.T
+    mat = np.diag(b)
+    for i in range(1, n):
+        mat[i, i - 1] = a[i]
+        mat[i - 1, i] = c[i - 1]
+    return np.linalg.solve(mat, d)
+
+
+def make_program(cfg: CyclicConfig) -> ProgramMaker:
+    """Build the Cyclic program factory (n must be a power of two)."""
+
+    def maker(n_threads: int) -> Callable:
+        require_power_of_two("cyclic thread count", n_threads)
+
+        def factory(rt: TracingRuntime):
+            n = rt.n_threads
+            # Double-buffered equation generations: each PCR step reads
+            # generation k and writes generation k+1, so one barrier per
+            # step suffices and requests arrive at neighbours that are
+            # still busy with their interior updates — the behaviour that
+            # makes the remote-request service policy matter (Figure 8).
+            eq_bufs = [
+                Collection(
+                    f"equations_{suffix}",
+                    make_distribution(n, n, "block"),
+                    element_nbytes=EQ_NBYTES,
+                )
+                for suffix in ("a", "b")
+            ]
+            system = _reduced_system(cfg, n)
+            for i in range(n):
+                eq_bufs[0].poke(i, system[i].copy())
+                eq_bufs[1].poke(i, np.zeros(4))
+            sol = reference_solution(cfg, n) if cfg.verify else None
+            shares = cfg.block_shares(n)
+
+            def body(ctx: ThreadCtx):
+                t = ctx.tid
+                local_unknowns = float(shares[t])
+                # Phase 1: local interior elimination of the thread's block.
+                yield from ctx.compute(local_unknowns * FLOPS_ELIMINATE)
+                yield from ctx.barrier()
+                # Phase 2: PCR on the reduced thread-level system.
+                steps = ilog2(n) if n > 1 else 0
+                for k in range(steps):
+                    dist = 1 << k
+                    cur, nxt = eq_bufs[k % 2], eq_bufs[(k + 1) % 2]
+                    a, b, c, d = yield from ctx.get(cur, t)
+                    if t - dist >= 0:
+                        am, bm, cm, dm = yield from ctx.get(
+                            cur, t - dist, nbytes=EQ_NBYTES
+                        )
+                    else:
+                        am = bm = cm = dm = 0.0
+                        bm = 1.0
+                    if t + dist < n:
+                        ap, bp, cp, dp = yield from ctx.get(
+                            cur, t + dist, nbytes=EQ_NBYTES
+                        )
+                    else:
+                        ap = bp = cp = dp = 0.0
+                        bp = 1.0
+                    alpha = -a / bm
+                    beta = -c / bp
+                    new = np.array(
+                        [
+                            alpha * am,
+                            b + alpha * cm + beta * ap,
+                            beta * cp,
+                            d + alpha * dm + beta * dp,
+                        ]
+                    )
+                    yield from ctx.put(nxt, t, new)
+                    # Interior update with the new boundary relations; the
+                    # uneven block sizes mean neighbours are often still in
+                    # this compute when the next step's requests arrive.
+                    yield from ctx.compute(
+                        local_unknowns * FLOPS_STEP_INTERIOR + FLOPS_PER_PCR_STEP
+                    )
+                    yield from ctx.barrier()  # generation k+1 published
+                # Decoupled: solve own unknown.
+                a, b, c, d = yield from ctx.get(eq_bufs[steps % 2], t)
+                x = d / b
+                yield from ctx.compute(1)
+                # Phase 3: local interior back-substitution.
+                yield from ctx.compute(local_unknowns * FLOPS_BACKSUB)
+                yield from ctx.barrier()
+                if cfg.verify and sol is not None:
+                    if abs(x - sol[t]) > 1e-8 * max(1.0, abs(sol[t])):
+                        raise AssertionError(
+                            f"cyclic: thread {t} solved {x}, reference {sol[t]}"
+                        )
+
+            return body
+
+        return factory
+
+    return maker

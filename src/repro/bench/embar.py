@@ -1,0 +1,124 @@
+"""Embar — the NAS "embarrassingly parallel" benchmark analog.
+
+Generates pairs of uniform deviates, converts accepted pairs to Gaussian
+deviates by the Marsaglia polar method, and tallies them into annuli
+counts; the only communication is the final global reduction of the
+tallies.  Embar "is expected to deliver linear speedup on almost all
+platforms" (§4.1) because computation dwarfs communication.
+
+The work is split into a fixed number of *chunks*, each with its own RNG
+stream; thread t processes chunks ``t, t+n, t+2n, ...``.  The union of
+chunks is identical for every thread count, so the global tallies are
+bit-identical across n — which is how the internal verification works.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.bench.base import ProgramMaker
+from repro.pcxx import Collection, make_distribution
+from repro.pcxx.patterns import reduce_tree
+from repro.pcxx.runtime import ThreadCtx, TracingRuntime
+from repro.util.rng import DEFAULT_SEED
+
+#: Flops charged per generated pair: 2 uniforms (~4), radius test (~3),
+#: log/sqrt transform amortised over acceptance (~8), tallying (~5).
+FLOPS_PER_PAIR = 20
+
+
+@dataclass
+class EmbarConfig:
+    """Problem parameters for Embar.
+
+    ``total_pairs`` uniform pairs split over ``chunks`` fixed work units;
+    ``bins`` annuli tallied (NAS EP uses 10).
+    """
+
+    total_pairs: int = 1 << 15
+    chunks: int = 64
+    bins: int = 10
+    seed: int = DEFAULT_SEED
+    verify: bool = True
+
+    def __post_init__(self):
+        if self.total_pairs < 1:
+            raise ValueError(f"total_pairs must be >= 1, got {self.total_pairs}")
+        if self.chunks < 1:
+            raise ValueError(f"chunks must be >= 1, got {self.chunks}")
+        if self.bins < 1:
+            raise ValueError(f"bins must be >= 1, got {self.bins}")
+
+
+def _chunk_tallies(cfg: EmbarConfig, chunk: int) -> np.ndarray:
+    """Tallies for one chunk: [count_bin0..count_binB-1, sum_x, sum_y]."""
+    rng = np.random.default_rng(np.random.SeedSequence([cfg.seed, chunk]))
+    pairs = cfg.total_pairs // cfg.chunks + (
+        1 if chunk < cfg.total_pairs % cfg.chunks else 0
+    )
+    out = np.zeros(cfg.bins + 2)
+    if pairs == 0:
+        return out
+    x = rng.uniform(-1.0, 1.0, pairs)
+    y = rng.uniform(-1.0, 1.0, pairs)
+    t = x * x + y * y
+    ok = (t > 0.0) & (t <= 1.0)
+    x, y, t = x[ok], y[ok], t[ok]
+    f = np.sqrt(-2.0 * np.log(t) / t)
+    gx, gy = x * f, y * f
+    m = np.maximum(np.abs(gx), np.abs(gy)).astype(int)
+    m = np.clip(m, 0, cfg.bins - 1)
+    out[: cfg.bins] = np.bincount(m, minlength=cfg.bins)[: cfg.bins]
+    out[cfg.bins] = gx.sum()
+    out[cfg.bins + 1] = gy.sum()
+    return out
+
+
+def reference_tallies(cfg: EmbarConfig) -> np.ndarray:
+    """Serial reference: tallies over all chunks."""
+    total = np.zeros(cfg.bins + 2)
+    for c in range(cfg.chunks):
+        total += _chunk_tallies(cfg, c)
+    return total
+
+
+def make_program(cfg: EmbarConfig) -> ProgramMaker:
+    """Build the Embar program factory."""
+
+    def maker(n_threads: int) -> Callable:
+        def factory(rt: TracingRuntime):
+            n = rt.n_threads
+            tallies = Collection(
+                "tallies",
+                make_distribution(n, n, "block"),
+                element_nbytes=(cfg.bins + 2) * 8,
+            )
+            reference = reference_tallies(cfg) if cfg.verify else None
+
+            def body(ctx: ThreadCtx):
+                mine = np.zeros(cfg.bins + 2)
+                pairs_done = 0
+                for chunk in range(ctx.tid, cfg.chunks, n):
+                    mine += _chunk_tallies(cfg, chunk)
+                    pairs_done += cfg.total_pairs // cfg.chunks + (
+                        1 if chunk < cfg.total_pairs % cfg.chunks else 0
+                    )
+                yield from ctx.compute(pairs_done * FLOPS_PER_PAIR)
+                yield from ctx.put(tallies, ctx.tid, mine)
+                total = yield from reduce_tree(
+                    ctx, tallies, lambda a, b: a + b, nbytes=(cfg.bins + 2) * 8
+                )
+                if cfg.verify and ctx.tid == 0:
+                    if not np.allclose(total, reference):
+                        raise AssertionError(
+                            "embar: reduced tallies disagree with serial reference"
+                        )
+
+            return body
+
+        return factory
+
+    return maker

@@ -1,0 +1,184 @@
+"""Grid — Poisson equation on a two-dimensional grid (Jacobi iteration).
+
+The domain is a (BLOCK, BLOCK)-distributed collection of grid patches;
+each iteration exchanges patch boundaries with the four neighbours and
+performs one Jacobi sweep, with a periodic global residual reduction.
+
+This is the benchmark the paper dissects in §4.1 (Figure 5): its trace
+recorded remote transfers at the whole collection-element size (231456
+bytes — the element statically holds the full local grid arrays) when
+the *actual* transfers are 2 bytes (a status word) and one boundary row
+(128 bytes for a 16-wide patch).  Run the tracing runtime with
+``size_mode="actual"`` to get the corrected trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+from repro.bench.base import FLOPS_PER_STENCIL_POINT, ProgramMaker
+from repro.bench.stencil import (
+    FLAG_NBYTES,
+    assemble_global,
+    fetch_ghosts,
+    jacobi_update,
+    serial_jacobi,
+    split_into_patches,
+)
+from repro.pcxx import Collection, make_distribution
+from repro.pcxx.patterns import reduce_tree
+from repro.pcxx.runtime import ThreadCtx, TracingRuntime
+from repro.util.rng import DEFAULT_SEED
+
+#: The pC++ Grid collection element size the paper reports (the element
+#: statically allocates the full local grid: ~170x170 doubles).
+PAPER_ELEMENT_NBYTES = 231456
+
+
+@dataclass
+class GridConfig:
+    """Problem parameters for Grid.
+
+    ``patch_rows x patch_cols`` patches of ``m x m`` points; Jacobi for
+    ``iterations`` sweeps with a residual reduction every
+    ``residual_every`` sweeps.  ``element_nbytes`` is what compiler-level
+    size recording reports per remote element access (None computes the
+    honest in-memory size; the paper-flavoured configs use 231456).
+    """
+
+    patch_rows: int = 6
+    patch_cols: int = 6
+    m: int = 16
+    iterations: int = 6
+    residual_every: int = 3
+    element_nbytes: int | None = None
+    seed: int = DEFAULT_SEED
+    verify: bool = True
+
+    def __post_init__(self):
+        if self.patch_rows < 1 or self.patch_cols < 1:
+            raise ValueError("need at least one patch per dimension")
+        if self.m < 1:
+            raise ValueError(f"patch size must be >= 1, got {self.m}")
+        if self.iterations < 1:
+            raise ValueError(f"iterations must be >= 1, got {self.iterations}")
+        if self.residual_every < 1:
+            raise ValueError("residual_every must be >= 1")
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (self.patch_rows * self.m, self.patch_cols * self.m)
+
+    def effective_element_nbytes(self) -> int:
+        if self.element_nbytes is not None:
+            return self.element_nbytes
+        # u, unew and h2f arrays plus a small header.
+        return 3 * self.m * self.m * 8 + 32
+
+    @classmethod
+    def paper_like(cls) -> "GridConfig":
+        """The §4.1 flavour: 16-wide patches (128-byte boundaries),
+        231456-byte elements, and enough iterations for ~650 barriers at
+        32 threads (400 sweeps + 40 tree reductions of 6 episodes)."""
+        return cls(
+            patch_rows=10,
+            patch_cols=10,
+            m=16,
+            iterations=400,
+            residual_every=10,
+            element_nbytes=PAPER_ELEMENT_NBYTES,
+        )
+
+
+def make_program(cfg: GridConfig) -> ProgramMaker:
+    """Build the Grid program factory."""
+
+    def maker(n_threads: int) -> Callable:
+        def factory(rt: TracingRuntime):
+            n = rt.n_threads
+            rng = np.random.default_rng(cfg.seed)
+            rows, cols = cfg.shape
+            h2f_global = rng.uniform(-1.0, 1.0, (rows, cols))
+            u0_global = np.zeros((rows, cols))
+
+            dist = make_distribution(
+                (cfg.patch_rows, cfg.patch_cols), n, ("block", "block")
+            )
+            # Double-buffered iterates: reads always target the current
+            # generation while writes go to the other collection, so
+            # boundary fetches interleave with per-patch computation (no
+            # read/write phase separation, one barrier per sweep) — as in
+            # the real pC++ Grid code.
+            u_bufs = [
+                Collection(
+                    f"grid{suffix}",
+                    dist,
+                    element_nbytes=cfg.effective_element_nbytes(),
+                )
+                for suffix in ("_a", "_b")
+            ]
+            u_bufs[0].fill(
+                split_into_patches(u0_global, cfg.patch_rows, cfg.patch_cols, cfg.m)
+            )
+            u_bufs[1].fill(
+                split_into_patches(
+                    np.zeros_like(u0_global), cfg.patch_rows, cfg.patch_cols, cfg.m
+                )
+            )
+            h2f_patches: Dict[Tuple[int, int], np.ndarray] = split_into_patches(
+                h2f_global, cfg.patch_rows, cfg.patch_cols, cfg.m
+            )
+            residuals = Collection(
+                "residuals", make_distribution(n, n, "block"), element_nbytes=8
+            )
+            reference = (
+                serial_jacobi(u0_global, h2f_global, cfg.iterations)
+                if cfg.verify
+                else None
+            )
+
+            def body(ctx: ThreadCtx):
+                local = ctx.local_indices(u_bufs[0])
+                for it in range(cfg.iterations):
+                    cur, nxt = u_bufs[it % 2], u_bufs[(it + 1) % 2]
+                    change = 0.0
+                    for pidx in local:
+                        ghosts = yield from fetch_ghosts(
+                            ctx, cur, pidx, cfg.m, cfg.patch_rows, cfg.patch_cols
+                        )
+                        old = cur.peek(pidx)
+                        new = jacobi_update(old, ghosts, h2f_patches[pidx])
+                        change += float(np.sum((new - old) ** 2))
+                        yield from ctx.put(nxt, pidx, new)
+                        yield from ctx.compute(
+                            cfg.m * cfg.m * FLOPS_PER_STENCIL_POINT
+                        )
+                    yield from ctx.barrier()  # sweep complete, buffers swap
+                    if (it + 1) % cfg.residual_every == 0:
+                        # Global convergence check: ||u_new - u_old||^2.
+                        yield from ctx.compute(len(local) * cfg.m * cfg.m * 2)
+                        yield from ctx.put(residuals, ctx.tid, change)
+                        yield from reduce_tree(
+                            ctx, residuals, lambda a, b: a + b, nbytes=8
+                        )
+                if cfg.verify and reference is not None and ctx.tid == 0:
+                    final = assemble_global(
+                        u_bufs[cfg.iterations % 2],
+                        cfg.patch_rows,
+                        cfg.patch_cols,
+                        cfg.m,
+                    )
+                    if not np.allclose(final, reference, atol=1e-10):
+                        raise AssertionError(
+                            "grid: distributed Jacobi disagrees with the "
+                            "serial reference"
+                        )
+
+            return body
+
+        return factory
+
+    return maker

@@ -1,0 +1,187 @@
+"""Matmul — the matrix-multiply program used for CM-5 validation (§4.2).
+
+``Matmul`` multiplies two N x N matrices A and B, with B given in
+transposed form; A and B^T share one two-dimensional distribution chosen
+from the per-dimension attributes Block, Cyclic, Whole — the nine
+combinations of Figure 9.  Following the paper's description:
+
+    "The first row of B^T is broadcast to all the rows of a temporary
+    matrix T.  A pointwise multiplication of A and T is then performed
+    and the result is placed in another temporary matrix S.  A right to
+    left global summation (reduction) in each row of S produces the
+    first column of the result matrix A.B.  This process is repeated for
+    all the rows of B^T."
+
+The broadcast is realised as remote element reads of the B^T row by
+every thread that owns part of the matching T rows; the row reduction
+sweeps right-to-left across the *owner segments* of each row (each step
+one remote read of the neighbouring partial), with a barrier per
+pipeline step.  "Though Matmul is a naive matrix multiplication
+program, it serves to illustrate the usefulness of the extrapolation
+technique."
+
+Verification: the assembled product must equal ``A @ B``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.bench.base import ProgramMaker
+from repro.pcxx import Collection, Dist, make_distribution
+from repro.pcxx.distribution import Distribution2D
+from repro.pcxx.runtime import ThreadCtx, TracingRuntime
+from repro.util.rng import DEFAULT_SEED
+
+#: The nine distribution combinations of Figure 9.
+ALL_DISTRIBUTIONS: Tuple[Tuple[str, str], ...] = tuple(
+    (r, c)
+    for r in ("block", "cyclic", "whole")
+    for c in ("block", "cyclic", "whole")
+)
+
+
+@dataclass
+class MatmulConfig:
+    """Problem parameters for Matmul.
+
+    ``size`` is N; ``row_dist``/``col_dist`` are the per-dimension
+    distribution attributes shared by A, B^T, T and S.
+    """
+
+    size: int = 16
+    row_dist: str = "block"
+    col_dist: str = "block"
+    seed: int = DEFAULT_SEED
+    verify: bool = True
+
+    def __post_init__(self):
+        if self.size < 2:
+            raise ValueError(f"size must be >= 2, got {self.size}")
+        Dist.parse(self.row_dist)
+        Dist.parse(self.col_dist)
+
+    @property
+    def dist_label(self) -> str:
+        return f"({self.row_dist},{self.col_dist})"
+
+
+def _row_segments(dist: Distribution2D, row: int) -> List[Tuple[int, List[int]]]:
+    """Owner segments of one matrix row, left to right.
+
+    Returns ``[(owner, columns)]`` where consecutive columns with the
+    same owner are grouped; the reduction sweeps these groups right to
+    left.
+    """
+    segments: List[Tuple[int, List[int]]] = []
+    for c in range(dist.cols):
+        o = dist.owner((row, c))
+        if segments and segments[-1][0] == o:
+            segments[-1][1].append(c)
+        else:
+            segments.append((o, [c]))
+    return segments
+
+
+def make_program(cfg: MatmulConfig) -> ProgramMaker:
+    """Build the Matmul program factory."""
+
+    def maker(n_threads: int) -> Callable:
+        def factory(rt: TracingRuntime):
+            n = rt.n_threads
+            N = cfg.size
+            rng = np.random.default_rng(np.random.SeedSequence([cfg.seed, N]))
+            a_mat = rng.uniform(-1.0, 1.0, (N, N))
+            b_mat = rng.uniform(-1.0, 1.0, (N, N))
+            bt_mat = b_mat.T.copy()
+
+            dist = make_distribution((N, N), n, (cfg.row_dist, cfg.col_dist))
+            elem = 8
+            a = Collection("A", dist, element_nbytes=elem)
+            bt = Collection("Bt", dist, element_nbytes=elem)
+            s = Collection("S", dist, element_nbytes=elem)
+            result = Collection("AB", dist, element_nbytes=elem)
+            for i in range(N):
+                for j in range(N):
+                    a.poke((i, j), float(a_mat[i, j]))
+                    bt.poke((i, j), float(bt_mat[i, j]))
+                    s.poke((i, j), 0.0)
+                    result.poke((i, j), 0.0)
+
+            local: Dict[int, List[Tuple[int, int]]] = {
+                t: dist.local_indices(t) for t in range(n)
+            }
+            # Row-segment map for the right-to-left reductions.
+            segments = [_row_segments(dist, i) for i in range(N)]
+            max_stages = max(len(seg) for seg in segments)
+            reference = a_mat @ b_mat if cfg.verify else None
+
+            def body(ctx: ThreadCtx):
+                t = ctx.tid
+                mine = local[t]
+                for r in range(N):
+                    # Broadcast row r of B^T into T (realised as reads):
+                    # T[i][j] = Bt[r][j]; pointwise multiply into S.
+                    for (i, j) in mine:
+                        v = yield from ctx.get(bt, (r, j), nbytes=8)
+                        yield from ctx.put(s, (i, j), a.peek((i, j)) * v)
+                    yield from ctx.compute(2 * len(mine))
+                    yield from ctx.barrier()
+                    # Fold each owner segment locally; the partial lives at
+                    # the segment's first column.
+                    for i in range(N):
+                        for owner, cols in segments[i]:
+                            if owner != t:
+                                continue
+                            partial = 0.0
+                            for j in reversed(cols):
+                                partial += s.peek((i, j))
+                            yield from ctx.put(s, (i, cols[0]), partial)
+                            yield from ctx.compute(len(cols))
+                    yield from ctx.barrier()
+                    # Right-to-left summation across the segments of each
+                    # row: each stage the left segment absorbs its right
+                    # neighbour's accumulated partial.
+                    for stage in range(max_stages - 1, 0, -1):
+                        for i in range(N):
+                            seg = segments[i]
+                            if stage >= len(seg):
+                                continue
+                            left_owner, left_cols = seg[stage - 1]
+                            right_owner, right_cols = seg[stage]
+                            if left_owner != t:
+                                continue
+                            partial = yield from ctx.get(
+                                s, (i, right_cols[0]), nbytes=8
+                            )
+                            acc = s.peek((i, left_cols[0])) + partial
+                            yield from ctx.put(s, (i, left_cols[0]), acc)
+                            yield from ctx.compute(1)
+                        yield from ctx.barrier()
+                    # Column r of the result: its owners pull the row sums
+                    # (remote reads, never remote writes).
+                    for i in range(N):
+                        if result.owner((i, r)) != t:
+                            continue
+                        head = segments[i][0][1][0]
+                        total = yield from ctx.get(s, (i, head), nbytes=8)
+                        yield from ctx.put(result, (i, r), total)
+                    yield from ctx.barrier()
+                if cfg.verify and reference is not None and t == 0:
+                    got = np.array(
+                        [[result.peek((i, j)) for j in range(N)] for i in range(N)]
+                    )
+                    if not np.allclose(got, reference, atol=1e-9):
+                        raise AssertionError(
+                            f"matmul {cfg.dist_label}: product disagrees "
+                            "with A @ B"
+                        )
+
+            return body
+
+        return factory
+
+    return maker

@@ -1,0 +1,285 @@
+"""Mgrid — NAS multigrid solver benchmark analog.
+
+V-cycle multigrid for the 2-D Poisson problem on the same (BLOCK, BLOCK)
+patch collection structure as Grid.  Per level: damped-Jacobi smoothing
+with ghost exchange, residual computation (another exchange), cell-block
+restriction (local), recursion, piecewise-constant prolongation (local),
+and post-smoothing.
+
+Patch sizes halve per level while the patch *count* — and hence the
+number of boundary messages per sweep — stays constant, so the
+computation/communication ratio collapses at coarse levels.  That is why
+Mgrid's speedup is so sensitive to ``MipsRatio`` (Figure 6(iv)) and why
+its minimum-execution-time processor count shifts with communication
+start-up cost (Figure 7).
+
+Verification: the distributed V-cycle must agree with a serial
+global-array implementation of the *same* algorithm to float tolerance,
+and each V-cycle must reduce the residual norm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+from repro.bench.base import FLOPS_PER_STENCIL_POINT, ProgramMaker, ilog2
+from repro.bench.stencil import (
+    assemble_global,
+    fetch_ghosts,
+    jacobi_update,
+    patch_residual,
+    serial_jacobi,
+    serial_residual,
+    split_into_patches,
+)
+from repro.pcxx import Collection, make_distribution
+from repro.pcxx.patterns import reduce_tree
+from repro.pcxx.runtime import ThreadCtx, TracingRuntime
+from repro.util.rng import DEFAULT_SEED
+
+#: Damping factor for the Jacobi smoother.
+OMEGA = 0.8
+
+
+@dataclass
+class MgridConfig:
+    """Problem parameters for Mgrid.
+
+    Fine level has ``patch_rows x patch_cols`` patches of ``m x m`` points
+    (m a power of two); levels halve m down to 1x1 patches.  ``cycles``
+    V-cycles with ``nu1``/``nu2`` pre/post smoothing sweeps and
+    ``nu_coarse`` sweeps at the coarsest level.
+    """
+
+    patch_rows: int = 6
+    patch_cols: int = 6
+    m: int = 16
+    cycles: int = 2
+    nu1: int = 2
+    nu2: int = 2
+    nu_coarse: int = 4
+    seed: int = DEFAULT_SEED
+    verify: bool = True
+
+    def __post_init__(self):
+        ilog2(self.m)  # validates power of two
+        if self.patch_rows < 1 or self.patch_cols < 1:
+            raise ValueError("need at least one patch per dimension")
+        for name in ("cycles", "nu1", "nu2", "nu_coarse"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1")
+
+    @property
+    def levels(self) -> int:
+        """Number of grid levels (fine m down to 1)."""
+        return ilog2(self.m) + 1
+
+    def level_m(self, level: int) -> int:
+        return self.m >> level
+
+
+def restrict_patch(fine: np.ndarray) -> np.ndarray:
+    """Cell-block restriction: coarse cell = mean of its 4 fine cells."""
+    m = fine.shape[0]
+    return 0.25 * (
+        fine[0:m:2, 0:m:2]
+        + fine[1:m:2, 0:m:2]
+        + fine[0:m:2, 1:m:2]
+        + fine[1:m:2, 1:m:2]
+    )
+
+
+def prolong_patch(coarse: np.ndarray) -> np.ndarray:
+    """Piecewise-constant prolongation (transpose of the restriction)."""
+    return np.kron(coarse, np.ones((2, 2)))
+
+
+# ---------------------------------------------------------------------------
+# Serial reference: the same V-cycle on global arrays.
+# ---------------------------------------------------------------------------
+
+
+def serial_vcycle(
+    u: np.ndarray, h2f: np.ndarray, cfg: MgridConfig, level: int = 0
+) -> np.ndarray:
+    """One V-cycle on global arrays (reference implementation)."""
+    if cfg.level_m(level) == 1:
+        return serial_jacobi(u, h2f, cfg.nu_coarse, omega=OMEGA)
+    u = serial_jacobi(u, h2f, cfg.nu1, omega=OMEGA)
+    r = serial_residual(u, h2f)
+    # Residual restricted; factor 4 rescales h^2 across the level change.
+    coarse_rhs = 4.0 * restrict_patch_global(r)
+    coarse_u = np.zeros_like(coarse_rhs)
+    coarse_u = serial_vcycle(coarse_u, coarse_rhs, cfg, level + 1)
+    u = u + prolong_patch(coarse_u)
+    return serial_jacobi(u, h2f, cfg.nu2, omega=OMEGA)
+
+
+def restrict_patch_global(fine: np.ndarray) -> np.ndarray:
+    """Global-array version of :func:`restrict_patch`."""
+    r, c = fine.shape
+    return 0.25 * (
+        fine[0:r:2, 0:c:2]
+        + fine[1:r:2, 0:c:2]
+        + fine[0:r:2, 1:c:2]
+        + fine[1:r:2, 1:c:2]
+    )
+
+
+def serial_solve(cfg: MgridConfig, u0: np.ndarray, h2f: np.ndarray) -> np.ndarray:
+    """Run ``cfg.cycles`` V-cycles serially."""
+    u = u0.copy()
+    for _ in range(cfg.cycles):
+        u = serial_vcycle(u, h2f, cfg)
+    return u
+
+
+# ---------------------------------------------------------------------------
+# Distributed program.
+# ---------------------------------------------------------------------------
+
+
+def make_program(cfg: MgridConfig) -> ProgramMaker:
+    """Build the Mgrid program factory."""
+
+    def maker(n_threads: int) -> Callable:
+        def factory(rt: TracingRuntime):
+            n = rt.n_threads
+            rng = np.random.default_rng(cfg.seed)
+            rows, cols = cfg.patch_rows * cfg.m, cfg.patch_cols * cfg.m
+            h2f_global = rng.uniform(-1.0, 1.0, (rows, cols))
+            u0_global = np.zeros((rows, cols))
+
+            # One u and one rhs collection per level; same patch layout.
+            dist = make_distribution(
+                (cfg.patch_rows, cfg.patch_cols), n, ("block", "block")
+            )
+            u_lv: List[Collection] = []
+            rhs_lv: List[Dict[Tuple[int, int], np.ndarray]] = []
+            for lv in range(cfg.levels):
+                m = cfg.level_m(lv)
+                u_lv.append(
+                    Collection(
+                        f"mg_u{lv}", dist, element_nbytes=2 * m * m * 8 + 32
+                    )
+                )
+                rhs_lv.append({})
+            u_lv[0].fill(
+                split_into_patches(u0_global, cfg.patch_rows, cfg.patch_cols, cfg.m)
+            )
+            rhs_lv[0] = split_into_patches(
+                h2f_global, cfg.patch_rows, cfg.patch_cols, cfg.m
+            )
+            for lv in range(1, cfg.levels):
+                m = cfg.level_m(lv)
+                for pr in range(cfg.patch_rows):
+                    for pc in range(cfg.patch_cols):
+                        u_lv[lv].poke((pr, pc), np.zeros((m, m)))
+                        rhs_lv[lv][(pr, pc)] = np.zeros((m, m))
+
+            norms = Collection(
+                "mg_norms", make_distribution(n, n, "block"), element_nbytes=8
+            )
+            reference = (
+                serial_solve(cfg, u0_global, h2f_global) if cfg.verify else None
+            )
+
+            def smooth(ctx: ThreadCtx, lv: int, local, sweeps: int):
+                m = cfg.level_m(lv)
+                coll = u_lv[lv]
+                for _ in range(sweeps):
+                    ghosts = {}
+                    for pidx in local:
+                        ghosts[pidx] = yield from fetch_ghosts(
+                            ctx, coll, pidx, m, cfg.patch_rows, cfg.patch_cols
+                        )
+                    yield from ctx.barrier()
+                    for pidx in local:
+                        new = jacobi_update(
+                            coll.peek(pidx), ghosts[pidx], rhs_lv[lv][pidx], OMEGA
+                        )
+                        yield from ctx.put(coll, pidx, new)
+                    yield from ctx.compute(
+                        len(local) * m * m * FLOPS_PER_STENCIL_POINT
+                    )
+                    yield from ctx.barrier()
+
+            def residual_norm(ctx: ThreadCtx, lv: int, local):
+                """Global residual 2-norm at level lv (one reduction)."""
+                m = cfg.level_m(lv)
+                coll = u_lv[lv]
+                partial = 0.0
+                for pidx in local:
+                    ghosts = yield from fetch_ghosts(
+                        ctx, coll, pidx, m, cfg.patch_rows, cfg.patch_cols
+                    )
+                    r = patch_residual(coll.peek(pidx), ghosts, rhs_lv[lv][pidx])
+                    partial += float(np.sum(r * r))
+                yield from ctx.compute(len(local) * m * m * 8)
+                yield from ctx.barrier()
+                yield from ctx.put(norms, ctx.tid, partial)
+                total = yield from reduce_tree(
+                    ctx, norms, lambda a, b: a + b, nbytes=8
+                )
+                return float(np.sqrt(total))
+
+            def vcycle(ctx: ThreadCtx, lv: int, local):
+                m = cfg.level_m(lv)
+                if m == 1:
+                    yield from smooth(ctx, lv, local, cfg.nu_coarse)
+                    return
+                yield from smooth(ctx, lv, local, cfg.nu1)
+                # Residual + restriction to the next level (local per patch).
+                for pidx in local:
+                    ghosts = yield from fetch_ghosts(
+                        ctx, u_lv[lv], pidx, m, cfg.patch_rows, cfg.patch_cols
+                    )
+                    r = patch_residual(
+                        u_lv[lv].peek(pidx), ghosts, rhs_lv[lv][pidx]
+                    )
+                    rhs_lv[lv + 1][pidx] = 4.0 * restrict_patch(r)
+                    yield from ctx.put(
+                        u_lv[lv + 1], pidx, np.zeros((m // 2, m // 2))
+                    )
+                yield from ctx.compute(len(local) * m * m * 10)
+                yield from ctx.barrier()
+                yield from vcycle(ctx, lv + 1, local)
+                # Prolongate the correction and add (local per patch).
+                for pidx in local:
+                    corr = prolong_patch(u_lv[lv + 1].peek(pidx))
+                    yield from ctx.put(
+                        u_lv[lv], pidx, u_lv[lv].peek(pidx) + corr
+                    )
+                yield from ctx.compute(len(local) * m * m * 2)
+                yield from ctx.barrier()
+                yield from smooth(ctx, lv, local, cfg.nu2)
+
+            def body(ctx: ThreadCtx):
+                local = ctx.local_indices(u_lv[0])
+                r0 = yield from residual_norm(ctx, 0, local)
+                for _ in range(cfg.cycles):
+                    yield from vcycle(ctx, 0, local)
+                r1 = yield from residual_norm(ctx, 0, local)
+                if cfg.verify and ctx.tid == 0:
+                    if not (r1 < 0.9 * r0 or r1 < 1e-10):
+                        raise AssertionError(
+                            f"mgrid: V-cycles did not reduce the residual "
+                            f"({r0:g} -> {r1:g})"
+                        )
+                    final = assemble_global(
+                        u_lv[0], cfg.patch_rows, cfg.patch_cols, cfg.m
+                    )
+                    if not np.allclose(final, reference, atol=1e-9):
+                        raise AssertionError(
+                            "mgrid: distributed V-cycle disagrees with the "
+                            "serial reference"
+                        )
+
+            return body
+
+        return factory
+
+    return maker

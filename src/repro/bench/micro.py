@@ -1,0 +1,123 @@
+"""Microbenchmarks: ping-pong, barrier latency, compute rate.
+
+Every real machine's extrapolation parameters come from measurements —
+the paper took its Table 3 values from Kwan, Totty & Reed's published
+CM-5 microbenchmarks and a simple floating-point benchmark for the
+MFLOPS ratio.  These are the equivalent probe programs, written against
+the same runtime API as the suite so they run on both the tracing
+runtime and the reference machine (:mod:`repro.calibrate` uses them on
+the latter to fit a parameter set).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.bench.base import ProgramMaker
+from repro.pcxx import Collection, make_distribution
+from repro.pcxx.runtime import ThreadCtx, TracingRuntime
+
+
+@dataclass
+class PingPongConfig:
+    """Two threads; thread 0 performs ``rounds`` remote reads of
+    ``nbytes`` from thread 1 (a request/reply round trip each)."""
+
+    nbytes: int = 1024
+    rounds: int = 32
+    verify: bool = True
+
+    def __post_init__(self):
+        if self.nbytes < 1:
+            raise ValueError(f"nbytes must be >= 1, got {self.nbytes}")
+        if self.rounds < 1:
+            raise ValueError(f"rounds must be >= 1, got {self.rounds}")
+
+
+def pingpong_program(cfg: PingPongConfig) -> ProgramMaker:
+    """Round-trip latency probe (requires exactly 2 threads)."""
+
+    def maker(n_threads: int) -> Callable:
+        if n_threads != 2:
+            raise ValueError("pingpong needs exactly 2 threads")
+
+        def factory(rt):
+            coll = Collection(
+                "payload",
+                make_distribution(2, 2, "block"),
+                element_nbytes=cfg.nbytes,
+            )
+            coll.poke(0, np.zeros(max(1, cfg.nbytes // 8)))
+            coll.poke(1, np.arange(max(1, cfg.nbytes // 8), dtype=float))
+
+            def body(ctx: ThreadCtx):
+                if ctx.tid == 0:
+                    for _ in range(cfg.rounds):
+                        data = yield from ctx.get(coll, 1, nbytes=cfg.nbytes)
+                        if cfg.verify and len(data) and data[-1] != len(data) - 1:
+                            raise AssertionError("pingpong: payload corrupted")
+                yield from ctx.barrier()
+
+            return body
+
+        return factory
+
+    return maker
+
+
+@dataclass
+class BarrierProbeConfig:
+    """All threads enter ``episodes`` back-to-back barriers."""
+
+    episodes: int = 16
+
+    def __post_init__(self):
+        if self.episodes < 1:
+            raise ValueError(f"episodes must be >= 1, got {self.episodes}")
+
+
+def barrier_program(cfg: BarrierProbeConfig) -> ProgramMaker:
+    """Barrier latency probe."""
+
+    def maker(n_threads: int) -> Callable:
+        def factory(rt):
+            def body(ctx: ThreadCtx):
+                for _ in range(cfg.episodes):
+                    yield from ctx.barrier()
+
+            return body
+
+        return factory
+
+    return maker
+
+
+@dataclass
+class ComputeProbeConfig:
+    """Each thread charges ``flops`` of pure computation (the paper's
+    "simple floating point benchmark" used to rate machines)."""
+
+    flops: float = 1.0e5
+
+    def __post_init__(self):
+        if self.flops <= 0:
+            raise ValueError(f"flops must be > 0, got {self.flops}")
+
+
+def compute_program(cfg: ComputeProbeConfig) -> ProgramMaker:
+    """MFLOPS-rating probe."""
+
+    def maker(n_threads: int) -> Callable:
+        def factory(rt):
+            def body(ctx: ThreadCtx):
+                yield from ctx.compute(cfg.flops)
+                yield from ctx.barrier()
+
+            return body
+
+        return factory
+
+    return maker

@@ -1,0 +1,220 @@
+"""Poisson — fast Poisson solver analog (DST + tridiagonal solve).
+
+The classical fast solver for ``-lap(u) = f`` on a square with
+homogeneous Dirichlet boundaries:
+
+1. discrete sine transform (DST-I) along every row — local, rows are
+   block-distributed;
+2. **transpose** the grid — the all-to-all exchange: every thread reads
+   one ``(rows_i x rows_j)`` block from every other thread;
+3. solve the decoupled tridiagonal systems along the (now local)
+   transformed dimension — Thomas algorithm per row;
+4. transpose back;
+5. inverse DST along rows — local.
+
+The two transposes are the only communication and they are all-to-all,
+which is why Poisson's "growing communication bottleneck ... is not
+significant until 32 processors" (Figure 6): below that, the O(S log S)
+local transforms dominate.
+
+Verification: the result must satisfy the discrete Poisson equation
+(residual to float tolerance) and match a dense direct solve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from repro.bench.base import FLOPS_PER_TRIDIAG_ROW, ProgramMaker, block_range
+from repro.pcxx import Collection, make_distribution
+from repro.pcxx.runtime import ThreadCtx, TracingRuntime
+from repro.util.rng import DEFAULT_SEED
+
+#: DST work per point: ~5 log2(S) flops (FFT-based transform).
+FLOPS_PER_DST_POINT_LOG = 5
+
+
+def dst1(a: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Type-I discrete sine transform (unnormalised), via odd-extension FFT."""
+    n = a.shape[axis]
+    a = np.moveaxis(a, axis, -1)
+    ext = np.zeros(a.shape[:-1] + (2 * (n + 1),))
+    ext[..., 1 : n + 1] = a
+    ext[..., n + 2 :] = -a[..., ::-1]
+    out = -np.fft.fft(ext)[..., 1 : n + 1].imag
+    return np.moveaxis(out, -1, axis)
+
+
+def idst1(a: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Inverse of :func:`dst1` (DST-I is its own inverse up to scale)."""
+    n = a.shape[axis]
+    return dst1(a, axis) / (2.0 * (n + 1))
+
+
+@dataclass
+class PoissonConfig:
+    """Problem parameters: an ``size x size`` interior grid."""
+
+    size: int = 64
+    seed: int = DEFAULT_SEED
+    verify: bool = True
+
+    def __post_init__(self):
+        if self.size < 2:
+            raise ValueError(f"size must be >= 2, got {self.size}")
+
+
+def reference_solve(cfg: PoissonConfig, f: np.ndarray) -> np.ndarray:
+    """Serial fast solve (same algorithm, global arrays)."""
+    s = cfg.size
+    lam = 2.0 - 2.0 * np.cos(np.pi * np.arange(1, s + 1) / (s + 1))
+    fhat = dst1(dst1(f, axis=0), axis=1)
+    uhat = fhat / (lam[:, None] + lam[None, :])
+    return idst1(idst1(uhat, axis=0), axis=1)
+
+
+def residual_norm(u: np.ndarray, f: np.ndarray) -> float:
+    """||f - A u|| for the 5-point Laplacian with zero Dirichlet ghosts."""
+    padded = np.pad(u, 1)
+    au = 4.0 * u - (
+        padded[:-2, 1:-1] + padded[2:, 1:-1] + padded[1:-1, :-2] + padded[1:-1, 2:]
+    )
+    return float(np.linalg.norm(f - au))
+
+
+def _thomas_rows(lam: np.ndarray, rows: np.ndarray, data: np.ndarray) -> np.ndarray:
+    """Solve (lam_r + 2 - 2cos(k pi/(S+1))) decoupled systems row-wise.
+
+    After the row DST, each row r of the transposed grid is an
+    independent tridiagonal system ``(-1, 2 + lam_r, -1)``; this is its
+    Thomas solve, vectorised over the row's right-hand side.
+    """
+    s = data.shape[1]
+    out = np.empty_like(data)
+    for i, r in enumerate(rows):
+        diag = 2.0 + lam[r]
+        d = data[i].copy()
+        c = np.empty(s)
+        # Forward elimination.
+        c[0] = -1.0 / diag
+        d[0] = d[0] / diag
+        for j in range(1, s):
+            denom = diag + c[j - 1]
+            c[j] = -1.0 / denom
+            d[j] = (d[j] + d[j - 1]) / denom
+        # Back substitution.
+        x = np.empty(s)
+        x[-1] = d[-1]
+        for j in range(s - 2, -1, -1):
+            x[j] = d[j] - c[j] * x[j + 1]
+        out[i] = x
+    return out
+
+
+def make_program(cfg: PoissonConfig) -> ProgramMaker:
+    """Build the Poisson program factory."""
+
+    def maker(n_threads: int) -> Callable:
+        def factory(rt: TracingRuntime):
+            n = rt.n_threads
+            s = cfg.size
+            rng = np.random.default_rng(cfg.seed)
+            f = rng.uniform(-1.0, 1.0, (s, s))
+            ranges = [block_range(s, n, t) for t in range(n)]
+            lam = 2.0 - 2.0 * np.cos(np.pi * np.arange(1, s + 1) / (s + 1))
+
+            rows_per = -(-s // n)
+            panels = Collection(
+                "panels",
+                make_distribution(n, n, "block"),
+                element_nbytes=rows_per * s * 8,
+            )
+            for t in range(n):
+                r = ranges[t]
+                panels.poke(t, f[r.start : r.stop, :].copy())
+            solution: Dict[int, np.ndarray] = {}
+            reference = reference_solve(cfg, f) if cfg.verify else None
+
+            def transpose(ctx: ThreadCtx, mine: np.ndarray):
+                """All-to-all: publish my panel, read my columns of others."""
+                t = ctx.tid
+                my_rows = ranges[t]
+                yield from ctx.put(panels, t, mine)
+                yield from ctx.barrier()
+                out = np.zeros((len(my_rows), s))
+                for o in range(n):
+                    block_rows = ranges[o]
+                    if not len(block_rows) or not len(my_rows):
+                        continue
+                    if o == t:
+                        panel = mine
+                    else:
+                        panel = yield from ctx.get(
+                            panels,
+                            o,
+                            nbytes=max(8, len(block_rows) * len(my_rows) * 8),
+                        )
+                    out[:, block_rows.start : block_rows.stop] = panel[
+                        :, my_rows.start : my_rows.stop
+                    ].T
+                yield from ctx.barrier()
+                return out
+
+            def body(ctx: ThreadCtx):
+                t = ctx.tid
+                my_rows = ranges[t]
+                mine = panels.peek(t)
+                nrows = len(my_rows)
+                lg = max(1, int(np.ceil(np.log2(s))))
+
+                # 1. DST along rows (local).
+                yield from ctx.mark("begin:dst")
+                work = dst1(mine, axis=1) if nrows else mine
+                yield from ctx.compute(nrows * s * FLOPS_PER_DST_POINT_LOG * lg)
+                yield from ctx.mark("end:dst")
+                # 2. Transpose.
+                yield from ctx.mark("begin:transpose")
+                work = yield from transpose(ctx, work)
+                yield from ctx.mark("end:transpose")
+                # 3. Tridiagonal solves along rows of the transposed grid.
+                yield from ctx.mark("begin:solve")
+                if nrows:
+                    work = _thomas_rows(lam, np.fromiter(my_rows, int), work)
+                yield from ctx.compute(nrows * s * FLOPS_PER_TRIDIAG_ROW)
+                yield from ctx.mark("end:solve")
+                # 4. Transpose back.
+                yield from ctx.mark("begin:transpose")
+                work = yield from transpose(ctx, work)
+                yield from ctx.mark("end:transpose")
+                # 5. Inverse DST along rows (local).
+                yield from ctx.mark("begin:dst")
+                if nrows:
+                    work = idst1(work, axis=1)
+                yield from ctx.compute(nrows * s * FLOPS_PER_DST_POINT_LOG * lg)
+                yield from ctx.mark("end:dst")
+                solution[t] = work
+                yield from ctx.barrier()
+
+                if cfg.verify and reference is not None and ctx.tid == 0:
+                    u = np.vstack(
+                        [solution[o] for o in range(n) if len(ranges[o])]
+                    )
+                    if not np.allclose(u, reference, atol=1e-8):
+                        raise AssertionError(
+                            "poisson: distributed solve disagrees with the "
+                            "serial fast solver"
+                        )
+                    if residual_norm(u, f) > 1e-6 * np.linalg.norm(f):
+                        raise AssertionError(
+                            "poisson: solution does not satisfy the discrete "
+                            "Poisson equation"
+                        )
+
+            return body
+
+        return factory
+
+    return maker

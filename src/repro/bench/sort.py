@@ -1,0 +1,112 @@
+"""Sort — bitonic sort module analog.
+
+Block-level bitonic sort: each thread owns a block of keys, locally
+sorts it, then runs the bitonic merge network over blocks.  Each network
+step reads the partner thread's *entire block* (a whole-block remote
+transfer) and keeps the low or high half of the merged pair — which is
+why Sort is communication-heavy and its speedup saturates early.
+
+``log2(n) * (log2(n)+1) / 2`` merge steps, one barrier each.  The final
+global order is verified against ``numpy.sort`` of the initial data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.bench.base import (
+    FLOPS_PER_KEY_MERGE,
+    ProgramMaker,
+    ilog2,
+    require_power_of_two,
+)
+from repro.pcxx import Collection, make_distribution
+from repro.pcxx.runtime import ThreadCtx, TracingRuntime
+from repro.util.rng import DEFAULT_SEED
+
+#: Local sort cost: ~c * K * log2(K) compare/moves.
+FLOPS_PER_SORT_KEY_LOG = 4
+
+
+@dataclass
+class SortConfig:
+    """Problem parameters for Sort.
+
+    ``total_keys`` are dealt into equal blocks (must divide by the
+    largest thread count studied).
+    """
+
+    total_keys: int = 1 << 14
+    seed: int = DEFAULT_SEED
+    verify: bool = True
+
+    def __post_init__(self):
+        require_power_of_two("total_keys", self.total_keys)
+
+
+def make_program(cfg: SortConfig) -> ProgramMaker:
+    """Build the Sort program factory (n must be a power of two)."""
+
+    def maker(n_threads: int) -> Callable:
+        require_power_of_two("sort thread count", n_threads)
+        if cfg.total_keys % n_threads:
+            raise ValueError(
+                f"{cfg.total_keys} keys do not divide over {n_threads} threads"
+            )
+
+        def factory(rt: TracingRuntime):
+            n = rt.n_threads
+            keys_per = cfg.total_keys // n
+            rng = np.random.default_rng(cfg.seed)
+            data = rng.uniform(0.0, 1.0, cfg.total_keys)
+            blocks = Collection(
+                "blocks",
+                make_distribution(n, n, "block"),
+                element_nbytes=keys_per * 8,
+            )
+            for t in range(n):
+                blocks.poke(t, data[t * keys_per : (t + 1) * keys_per].copy())
+            reference = np.sort(data) if cfg.verify else None
+
+            def body(ctx: ThreadCtx):
+                t = ctx.tid
+                mine = yield from ctx.get(blocks, t)
+                mine = np.sort(mine)
+                yield from ctx.put(blocks, t, mine)
+                yield from ctx.compute(
+                    keys_per * max(1, ilog2(keys_per)) * FLOPS_PER_SORT_KEY_LOG
+                )
+                yield from ctx.barrier()
+                # Bitonic merge network over blocks.
+                stages = ilog2(n) if n > 1 else 0
+                for k in range(1, stages + 1):
+                    for j in range(k - 1, -1, -1):
+                        partner = t ^ (1 << j)
+                        ascending = (t & (1 << k)) == 0
+                        theirs = yield from ctx.get(
+                            blocks, partner, nbytes=keys_per * 8
+                        )
+                        merged = np.sort(np.concatenate([mine, theirs]))
+                        keep_low = (t < partner) == ascending
+                        mine = (
+                            merged[:keys_per] if keep_low else merged[keys_per:]
+                        )
+                        yield from ctx.compute(2 * keys_per * FLOPS_PER_KEY_MERGE)
+                        yield from ctx.barrier()  # all reads of this step done
+                        yield from ctx.put(blocks, t, mine)
+                        yield from ctx.barrier()  # new generation published
+                if cfg.verify and reference is not None:
+                    lo, hi = t * keys_per, (t + 1) * keys_per
+                    if not np.allclose(mine, reference[lo:hi]):
+                        raise AssertionError(
+                            f"sort: thread {t} block disagrees with numpy.sort"
+                        )
+
+            return body
+
+        return factory
+
+    return maker

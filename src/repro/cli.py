@@ -1,0 +1,320 @@
+"""The ``extrap`` command-line interface.
+
+Subcommands::
+
+    extrap list                      # benchmarks, presets, experiments
+    extrap trace  <bench> -n 8 -o t.jsonl [--size-mode actual]
+    extrap predict <trace> --preset cm5 [--set processor.mips_ratio=0.5]
+    extrap report  <trace> --preset cm5      # full debugging report
+    extrap study  <bench> --preset distributed_memory -p 1,2,4,8,16,32
+    extrap machine <bench> -n 8              # reference CM-5 direct run
+    extrap experiment fig4 [--paper]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any, Dict, List
+
+from repro.bench.suite import BENCHMARKS, get_benchmark
+from repro.core import presets
+from repro.core.parameters import SimulationParameters
+from repro.core.pipeline import extrapolate, measure
+from repro.experiments.runner import EXPERIMENTS, run_experiment
+from repro.metrics.scaling import run_scaling_study
+from repro.trace import read_trace, write_trace
+
+
+def _parse_counts(spec: str) -> List[int]:
+    try:
+        return [int(x) for x in spec.split(",") if x.strip()]
+    except ValueError:
+        raise SystemExit(f"bad processor-count list {spec!r}; expected e.g. 1,2,4")
+
+
+def _apply_overrides(params: SimulationParameters, sets: List[str]) -> SimulationParameters:
+    groups: Dict[str, Dict[str, Any]] = {}
+    for item in sets:
+        try:
+            key, raw = item.split("=", 1)
+            group, field_ = key.split(".", 1)
+        except ValueError:
+            raise SystemExit(
+                f"bad --set {item!r}; expected group.field=value "
+                "(e.g. processor.mips_ratio=0.5)"
+            )
+        value: Any
+        lowered = raw.strip().lower()
+        if lowered in ("true", "false"):
+            value = lowered == "true"
+        else:
+            try:
+                value = int(raw)
+            except ValueError:
+                try:
+                    value = float(raw)
+                except ValueError:
+                    value = raw
+        groups.setdefault(group, {})[field_] = value
+    return params.with_(**groups) if groups else params
+
+
+def cmd_list(_args) -> int:
+    print("benchmarks:")
+    for name, info in BENCHMARKS.items():
+        print(f"  {name:8s} {info.description}")
+    print("presets:")
+    for name in sorted(presets.PRESETS):
+        print(f"  {name}")
+    print("experiments:")
+    for name in sorted(EXPERIMENTS):
+        print(f"  {name}")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    info = get_benchmark(args.benchmark)
+    maker = info.make_program()
+    trace = measure(
+        maker(args.n), args.n, name=args.benchmark, size_mode=args.size_mode
+    )
+    path = write_trace(trace, args.output)
+    print(f"wrote {len(trace)} events for {args.n} threads to {path}")
+    if trace.race_findings:
+        print(
+            f"WARNING: {len(trace.race_findings)} same-epoch read/write "
+            "conflicts — extrapolation may not be valid for this program "
+            "(see repro.pcxx.races)"
+        )
+    return 0
+
+
+def cmd_predict(args) -> int:
+    trace = read_trace(args.trace)
+    params = _apply_overrides(presets.by_name(args.preset), args.set or [])
+    outcome = extrapolate(trace, params)
+    print(params.describe())
+    print(f"measured trace: {outcome.trace_stats.summary()}")
+    print(f"ideal execution time:     {outcome.ideal_time:12.1f} us")
+    print(f"predicted execution time: {outcome.predicted_time:12.1f} us")
+    print(outcome.result.summary())
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.metrics.report import full_report
+
+    trace = read_trace(args.trace)
+    params = _apply_overrides(presets.by_name(args.preset), args.set or [])
+    outcome = extrapolate(trace, params)
+    print(full_report(outcome))
+    return 0
+
+
+def cmd_machine(args) -> int:
+    from repro.machine import run_on_machine
+
+    info = get_benchmark(args.benchmark)
+    maker = info.make_program()
+    result = run_on_machine(maker(args.n), args.n, name=args.benchmark)
+    print(result.summary())
+    for node in result.nodes:
+        print(
+            f"  node {node.pid}: compute {node.compute_time:.1f} us, "
+            f"{node.remote_accesses} remote accesses, "
+            f"{node.requests_served} served, "
+            f"barrier {node.barrier_time:.1f} us"
+        )
+    return 0
+
+
+def cmd_compare(args) -> int:
+    from repro.metrics import derive_metrics
+    from repro.util.tables import format_table
+
+    trace = read_trace(args.trace)
+    rows = []
+    base_time = None
+    for preset_name in args.presets:
+        params = presets.by_name(preset_name)
+        outcome = extrapolate(trace, params)
+        m = derive_metrics(outcome.result)
+        if base_time is None:
+            base_time = m.execution_time
+        rows.append(
+            [
+                preset_name,
+                m.execution_time,
+                m.execution_time / base_time,
+                m.utilization,
+                outcome.result.total_comm_time(),
+                outcome.result.total_barrier_time(),
+            ]
+        )
+    print(
+        format_table(
+            [
+                "environment",
+                "predicted us",
+                "vs first",
+                "util",
+                "comm us",
+                "barrier us",
+            ],
+            rows,
+            title=f"{trace.meta.program or 'trace'} across environments "
+            f"({trace.meta.n_threads} threads)",
+        )
+    )
+    return 0
+
+
+def cmd_calibrate(args) -> int:
+    from repro.calibrate import calibrate
+
+    params, report = calibrate()
+    print("probe measurements on the reference machine:")
+    print(f"  {report.summary()}")
+    print()
+    print(params.describe())
+    return 0
+
+
+def cmd_study(args) -> int:
+    info = get_benchmark(args.benchmark)
+    params = _apply_overrides(presets.by_name(args.preset), args.set or [])
+    counts = _parse_counts(args.processors)
+    if info.power_of_two_only:
+        counts = [p for p in counts if (p & (p - 1)) == 0]
+    study = run_scaling_study(
+        info.make_program(),
+        params,
+        name=args.benchmark,
+        processor_counts=counts,
+        size_mode=args.size_mode,
+    )
+    print(study.format())
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    result = run_experiment(args.name, quick=not args.paper)
+    print(result.format())
+    return 0
+
+
+def cmd_reproduce(args) -> int:
+    from repro.experiments.reproduce import reproduce
+
+    index = reproduce(
+        args.out,
+        quick=not args.paper,
+        experiments=args.only or None,
+    )
+    print(f"wrote {index}")
+    print(index.read_text())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    ap = argparse.ArgumentParser(
+        prog="extrap",
+        description="Performance extrapolation of parallel programs (ICPP'95 reproduction)",
+    )
+    sub = ap.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list benchmarks, presets and experiments")
+
+    t = sub.add_parser("trace", help="measure a benchmark on 1 virtual processor")
+    t.add_argument("benchmark", choices=sorted(BENCHMARKS))
+    t.add_argument("-n", type=int, default=8, help="number of threads")
+    t.add_argument("-o", "--output", default="trace.jsonl", help=".jsonl or .bin")
+    t.add_argument(
+        "--size-mode", choices=("compiler", "actual"), default="compiler"
+    )
+
+    p = sub.add_parser("predict", help="extrapolate a trace to a target environment")
+    p.add_argument("trace", help="trace file from 'extrap trace'")
+    p.add_argument("--preset", default="distributed_memory")
+    p.add_argument(
+        "--set",
+        action="append",
+        metavar="group.field=value",
+        help="override a parameter, e.g. processor.mips_ratio=0.5",
+    )
+
+    r = sub.add_parser("report", help="full debugging report for a trace")
+    r.add_argument("trace", help="trace file from 'extrap trace'")
+    r.add_argument("--preset", default="distributed_memory")
+    r.add_argument("--set", action="append", metavar="group.field=value")
+
+    m = sub.add_parser("machine", help="run a benchmark on the reference CM-5")
+    m.add_argument("benchmark", choices=sorted(BENCHMARKS))
+    m.add_argument("-n", type=int, default=8, help="number of nodes")
+
+    sub.add_parser(
+        "calibrate",
+        help="fit extrapolation parameters from reference-machine probes",
+    )
+
+    cp = sub.add_parser(
+        "compare", help="extrapolate one trace to several environments"
+    )
+    cp.add_argument("trace")
+    cp.add_argument(
+        "presets",
+        nargs="+",
+        choices=sorted(presets.PRESETS),
+        help="presets to compare (first is the baseline)",
+    )
+
+    s = sub.add_parser("study", help="processor-scaling study for a benchmark")
+    s.add_argument("benchmark", choices=sorted(BENCHMARKS))
+    s.add_argument("--preset", default="distributed_memory")
+    s.add_argument("-p", "--processors", default="1,2,4,8,16,32")
+    s.add_argument(
+        "--size-mode", choices=("compiler", "actual"), default="compiler"
+    )
+    s.add_argument("--set", action="append", metavar="group.field=value")
+
+    e = sub.add_parser("experiment", help="regenerate a paper figure/table")
+    e.add_argument("name", choices=sorted(EXPERIMENTS))
+    e.add_argument(
+        "--paper", action="store_true", help="paper-scale problem sizes (slower)"
+    )
+
+    rp = sub.add_parser(
+        "reproduce", help="run every experiment, write reports to a directory"
+    )
+    rp.add_argument("--out", default="results", help="output directory")
+    rp.add_argument("--paper", action="store_true")
+    rp.add_argument(
+        "--only",
+        action="append",
+        metavar="EXPERIMENT",
+        help="restrict to specific experiments (repeatable)",
+    )
+
+    return ap
+
+
+def main(argv: List[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list": cmd_list,
+        "trace": cmd_trace,
+        "predict": cmd_predict,
+        "report": cmd_report,
+        "machine": cmd_machine,
+        "calibrate": cmd_calibrate,
+        "compare": cmd_compare,
+        "study": cmd_study,
+        "experiment": cmd_experiment,
+        "reproduce": cmd_reproduce,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

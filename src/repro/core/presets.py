@@ -1,0 +1,168 @@
+"""Named parameter sets used throughout the paper's evaluation.
+
+Each function returns a fresh :class:`SimulationParameters`; pass keyword
+overrides through :meth:`SimulationParameters.with_` for sweeps.
+"""
+
+from __future__ import annotations
+
+from repro.core.parameters import (
+    BarrierParams,
+    NetworkParams,
+    ProcessorParams,
+    SimulationParameters,
+)
+from repro.pcxx.runtime import CM5_MFLOPS, SUN4_MFLOPS
+from repro.util.units import mbytes_per_s_to_us_per_byte
+
+
+def distributed_memory() -> SimulationParameters:
+    """The Figure 4 environment: a distributed-memory platform with
+    modest link bandwidth (20 MB/s) but relatively high communication
+    overheads and synchronisation costs."""
+    return SimulationParameters(
+        processor=ProcessorParams(
+            mips_ratio=1.0,
+            policy="interrupt",
+            request_service_time=5.0,
+            msg_build_time=5.0,
+            interrupt_overhead=10.0,
+        ),
+        network=NetworkParams(
+            comm_startup_time=100.0,
+            byte_transfer_time=mbytes_per_s_to_us_per_byte(20.0),
+            topology="mesh2d",
+            hop_time=0.5,
+            contention=True,
+        ),
+        barrier=BarrierParams(
+            entry_time=5.0,
+            exit_time=5.0,
+            check_time=2.0,
+            exit_check_time=2.0,
+            model_time=10.0,
+            by_msgs=True,
+            msg_size=128,
+        ),
+        name="distributed_memory",
+    )
+
+
+def shared_memory() -> SimulationParameters:
+    """A shared-memory approximation: same protocol structure but
+    high-bandwidth, low-latency 'network' (data transfers through
+    memory), cheap flag-based barriers (§3.3.2, §3.3.3)."""
+    return SimulationParameters(
+        processor=ProcessorParams(
+            mips_ratio=1.0,
+            policy="interrupt",
+            request_service_time=1.0,
+            msg_build_time=0.5,
+            interrupt_overhead=2.0,
+        ),
+        network=NetworkParams(
+            comm_startup_time=2.0,
+            byte_transfer_time=mbytes_per_s_to_us_per_byte(200.0),
+            topology="crossbar",
+            hop_time=0.0,
+            contention=True,
+        ),
+        barrier=BarrierParams(
+            entry_time=1.0,
+            exit_time=1.0,
+            check_time=0.5,
+            exit_check_time=0.5,
+            model_time=2.0,
+            by_msgs=False,
+            msg_size=0,
+        ),
+        name="shared_memory",
+    )
+
+
+def cm5() -> SimulationParameters:
+    """Table 3: the parameter set used to match CM-5 characteristics.
+
+    BarrierModelTime 5 us, CommStartupTime 10 us, ByteTransferTime
+    0.118 us/B (8.5 MB/s), MipsRatio 0.41 (= Sun4 1.1360 / CM-5 2.7645).
+    The CM-5 supports active messages, so the interrupt policy applies;
+    its data network is a 4-ary fat tree and its control network gives
+    fast hardware-assisted barriers.
+    """
+    return SimulationParameters(
+        processor=ProcessorParams(
+            mips_ratio=round(SUN4_MFLOPS / CM5_MFLOPS, 2),  # 0.41, as in the paper
+            policy="interrupt",
+            request_service_time=2.0,
+            msg_build_time=2.0,
+            interrupt_overhead=3.0,
+        ),
+        network=NetworkParams(
+            comm_startup_time=10.0,
+            byte_transfer_time=0.118,
+            topology="fattree",
+            hop_time=0.2,
+            contention=True,
+        ),
+        barrier=BarrierParams(
+            entry_time=2.0,
+            exit_time=2.0,
+            check_time=1.0,
+            exit_check_time=1.0,
+            model_time=5.0,  # BarrierModelTime from Table 3
+            by_msgs=True,
+            msg_size=16,
+        ),
+        name="cm5",
+    )
+
+
+def ideal() -> SimulationParameters:
+    """Zero-cost communication and synchronisation (the Figure 5 "ideal
+    execution environment"): the simulation result must equal the
+    translated traces' ideal execution time."""
+    return SimulationParameters(
+        processor=ProcessorParams(
+            mips_ratio=1.0,
+            policy="interrupt",
+            request_service_time=0.0,
+            msg_build_time=0.0,
+            interrupt_overhead=0.0,
+        ),
+        network=NetworkParams(
+            comm_startup_time=0.0,
+            byte_transfer_time=0.0,
+            topology="crossbar",
+            hop_time=0.0,
+            contention=False,
+        ),
+        barrier=BarrierParams(
+            entry_time=0.0,
+            exit_time=0.0,
+            check_time=0.0,
+            exit_check_time=0.0,
+            model_time=0.0,
+            by_msgs=False,
+            msg_size=0,
+        ),
+        name="ideal",
+    )
+
+
+#: Registry for CLI / experiment lookup by name.
+PRESETS = {
+    "distributed_memory": distributed_memory,
+    "shared_memory": shared_memory,
+    "cm5": cm5,
+    "ideal": ideal,
+}
+
+
+def by_name(name: str) -> SimulationParameters:
+    """Look up a preset by name."""
+    try:
+        return PRESETS[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown preset {name!r}; available: {sorted(PRESETS)}"
+        ) from None

@@ -1,0 +1,41 @@
+"""A small SimPy-style discrete-event simulation (DES) engine.
+
+This is the substrate underneath both the ExtraP trace-driven simulator
+(:mod:`repro.sim`) and the reference target-machine simulator
+(:mod:`repro.machine`).  It provides:
+
+* :class:`Environment` — the simulation clock and event loop;
+* generator-based :class:`Process`\\ es that ``yield`` events to wait on;
+* :class:`Event` / :class:`Timeout` / :class:`AnyOf` / :class:`AllOf`
+  synchronisation primitives;
+* :class:`Interrupt` delivery into waiting processes (used by the
+  *interrupt* remote-access service policy);
+* :class:`Store` / :class:`PriorityStore` message queues and a counted
+  :class:`Resource` (used for link and queue contention).
+
+The engine is deterministic: simultaneous events fire in FIFO order of
+scheduling (stable tie-break on a monotone sequence number).
+"""
+
+from repro.des.events import AllOf, AnyOf, Event, Interrupt, Timeout
+from repro.des.engine import Environment, StopSimulation
+from repro.des.process import Process, ProcessKilled
+from repro.des.stores import FilterStore, PriorityItem, PriorityStore, Store
+from repro.des.resources import Resource
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "FilterStore",
+    "Interrupt",
+    "PriorityItem",
+    "PriorityStore",
+    "Process",
+    "ProcessKilled",
+    "Resource",
+    "StopSimulation",
+    "Store",
+    "Timeout",
+]

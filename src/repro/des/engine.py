@@ -1,0 +1,145 @@
+"""The simulation environment: clock + event queue + run loop."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, Iterable, List, Optional, Tuple
+
+from repro.des.events import AllOf, AnyOf, Event, Timeout
+from repro.des.process import Process
+
+
+class StopSimulation(Exception):
+    """Raised by :meth:`Environment.run` internals to halt the loop."""
+
+
+class Environment:
+    """Discrete-event simulation environment.
+
+    Time is a float in whatever unit the caller chooses; the rest of this
+    library uses microseconds (see :mod:`repro.util.units`).
+
+    Events scheduled for the same time fire in FIFO order of scheduling,
+    with an integer ``priority`` tie-break below that (lower fires first;
+    process-start events use priority -1 so a freshly spawned process gets
+    its first step before same-time ordinary events).
+    """
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: List[Tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._active: Optional[Process] = None
+        self._event_count = 0
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently executing a step, if any."""
+        return self._active
+
+    @property
+    def processed_event_count(self) -> int:
+        """Total number of events processed so far (profiling aid)."""
+        return self._event_count
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    # -- factories ------------------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a new pending event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` after the current time."""
+        return Timeout(self, delay, value)
+
+    def process(
+        self, generator: Generator[Event, Any, Any], name: str | None = None
+    ) -> Process:
+        """Spawn a new process from a generator."""
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event that fires when any of ``events`` fires."""
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event that fires when all of ``events`` have fired."""
+        return AllOf(self, events)
+
+    # -- scheduling / run loop ----------------------------------------------
+
+    def _schedule(self, event: Event, delay: float = 0.0, priority: int = 0) -> None:
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+
+    def step(self) -> None:
+        """Process exactly one event (advancing the clock to it)."""
+        if not self._queue:
+            raise StopSimulation("event queue is empty")
+        t, _prio, _seq, event = heapq.heappop(self._queue)
+        if t < self._now:  # pragma: no cover - guarded by _schedule
+            raise RuntimeError("event queue corrupted: time went backwards")
+        self._now = t
+        self._event_count += 1
+        event._process()
+
+    def run(self, until: float | Event | None = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be:
+
+        * ``None`` — run until the event queue drains;
+        * a number — run until the clock reaches that time;
+        * an :class:`Event` — run until that event is processed and return
+          its value (raising if it failed).
+        """
+        if until is None:
+            while self._queue:
+                self.step()
+            return None
+
+        if isinstance(until, Event):
+            sentinel = until
+            done = {"hit": False}
+
+            def mark(ev: Event) -> None:
+                done["hit"] = True
+
+            if sentinel.processed:
+                done["hit"] = True
+            else:
+                sentinel.callbacks.append(mark)
+            while not done["hit"]:
+                if not self._queue:
+                    raise RuntimeError(
+                        "simulation ran out of events before the awaited "
+                        f"event fired ({sentinel!r}); deadlock?"
+                    )
+                self.step()
+            if not sentinel.ok:
+                sentinel.defused = True
+                raise sentinel.value
+            return sentinel.value
+
+        horizon = float(until)
+        if horizon < self._now:
+            raise ValueError(
+                f"cannot run until {horizon}; clock is already at {self._now}"
+            )
+        while self._queue and self._queue[0][0] <= horizon:
+            self.step()
+        self._now = horizon
+        return None

@@ -1,0 +1,221 @@
+"""Event primitives for the DES engine.
+
+An :class:`Event` is a one-shot occurrence with a value.  Processes wait on
+events by ``yield``-ing them; the environment resumes each waiter when the
+event is processed.  Events move through three states::
+
+    PENDING -> TRIGGERED (scheduled on the event queue) -> PROCESSED
+
+Triggering is split from processing so that simultaneous events interleave
+deterministically through the central queue rather than recursing through
+callback chains.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Iterable, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.des.engine import Environment
+
+#: Event state constants.
+PENDING = 0
+TRIGGERED = 1
+PROCESSED = 2
+
+
+class Interrupt(Exception):
+    """Raised inside a process that another process interrupted.
+
+    ``cause`` carries the interrupter's payload (for the processor model it
+    is the arriving message that preempted computation).
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Interrupt(cause={self.cause!r})"
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    Parameters
+    ----------
+    env:
+        Owning environment.
+    """
+
+    __slots__ = ("env", "_state", "_value", "_ok", "callbacks", "defused")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self._state = PENDING
+        self._value: Any = None
+        self._ok = True
+        self.callbacks: List[Callable[["Event"], None]] = []
+        #: set by Environment.run when a failed event had no waiters
+        self.defused = False
+
+    # -- state inspection -------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled (succeed/fail called)."""
+        return self._state >= TRIGGERED
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self._state == PROCESSED
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (valid only after triggering)."""
+        if self._state == PENDING:
+            raise RuntimeError("event has not been triggered yet")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's payload (or exception if it failed)."""
+        if self._state == PENDING:
+            raise RuntimeError("event has not been triggered yet")
+        return self._value
+
+    # -- triggering --------------------------------------------------------
+
+    def succeed(self, value: Any = None, *, delay: float = 0.0) -> "Event":
+        """Schedule this event to fire successfully after ``delay``."""
+        if self._state != PENDING:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self._state = TRIGGERED
+        self.env._schedule(self, delay)
+        return self
+
+    def fail(self, exception: BaseException, *, delay: float = 0.0) -> "Event":
+        """Schedule this event to fire as a failure carrying ``exception``."""
+        if self._state != PENDING:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exception!r}")
+        self._ok = False
+        self._value = exception
+        self._state = TRIGGERED
+        self.env._schedule(self, 0.0 if delay == 0.0 else delay)
+        return self
+
+    # -- internal ----------------------------------------------------------
+
+    def _process(self) -> None:
+        """Run callbacks.  Called by the environment event loop only."""
+        self._state = PROCESSED
+        callbacks, self.callbacks = self.callbacks, []
+        for cb in callbacks:
+            cb(self)
+        if not self._ok and not self.defused and not callbacks:
+            # A failure nobody waited on: surface it instead of losing it.
+            raise self._value
+
+    def _remove_callback(self, cb: Callable[["Event"], None]) -> None:
+        try:
+            self.callbacks.remove(cb)
+        except ValueError:
+            pass
+
+    def __repr__(self) -> str:
+        state = {PENDING: "pending", TRIGGERED: "triggered", PROCESSED: "processed"}
+        return f"<{type(self).__name__} {state[self._state]} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        self._state = TRIGGERED
+        env._schedule(self, delay)
+
+    def __repr__(self) -> str:
+        return f"<Timeout delay={self.delay} at {id(self):#x}>"
+
+
+class _Condition(Event):
+    """Base for AnyOf/AllOf composite events."""
+
+    __slots__ = ("events", "_done")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self.events: List[Event] = list(events)
+        self._done = 0
+        for ev in self.events:
+            if ev.env is not env:
+                raise ValueError("all events must share one environment")
+        if not self.events:
+            self.succeed({})
+            return
+        for ev in self.events:
+            if ev.processed:
+                self._on_child(ev)
+            else:
+                ev.callbacks.append(self._on_child)
+
+    def _needed(self) -> int:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _on_child(self, ev: Event) -> None:
+        if self.triggered:
+            return
+        if not ev.ok:
+            ev.defused = True
+            self.fail(ev.value)
+            return
+        self._done += 1
+        if self._done >= self._needed():
+            self.succeed(self._collect())
+
+    def _collect(self) -> dict:
+        return {ev: ev.value for ev in self.events if ev.triggered and ev.ok}
+
+
+class AnyOf(_Condition):
+    """Fires when any child event has fired (value: dict of fired events)."""
+
+    __slots__ = ()
+
+    def _needed(self) -> int:
+        return 1
+
+
+class AllOf(_Condition):
+    """Fires when all child events have fired (value: dict of fired events)."""
+
+    __slots__ = ()
+
+    def _needed(self) -> int:
+        return len(self.events)
+
+
+class Initialize(Event):
+    """Internal event used to start a new process at the current time."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", value: Any = None):
+        super().__init__(env)
+        self._ok = True
+        self._value = value
+        self._state = TRIGGERED
+        env._schedule(self, 0.0, priority=-1)

@@ -1,0 +1,176 @@
+"""Generator-based simulation processes.
+
+A process wraps a Python generator.  Each value the generator yields must
+be an :class:`~repro.des.events.Event`; the process sleeps until that
+event fires, then resumes with the event's value (``ev.value`` is sent in,
+or the failure exception is thrown in).  The process object is itself an
+event that fires when the generator returns, carrying the generator's
+return value — so processes can wait on other processes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from repro.des.events import Event, Initialize, Interrupt, PENDING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.des.engine import Environment
+
+
+class ProcessKilled(Exception):
+    """Raised inside a process that was forcibly killed via .kill()."""
+
+
+class Process(Event):
+    """A running simulation process.
+
+    Parameters
+    ----------
+    env:
+        Owning environment.
+    generator:
+        The generator implementing the process body.
+    name:
+        Optional label used in reprs and error messages.
+    """
+
+    __slots__ = ("_generator", "name", "_target")
+
+    def __init__(
+        self,
+        env: "Environment",
+        generator: Generator[Event, Any, Any],
+        name: str | None = None,
+    ):
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"process body must be a generator, got {generator!r}")
+        super().__init__(env)
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        #: the event this process is currently waiting on (None while running)
+        self._target: Optional[Event] = None
+        Initialize(env).callbacks.append(self._resume)
+
+    # -- public API --------------------------------------------------------
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return self._state == PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a dead process is an error.  A process may not
+        interrupt itself (that would mean throwing into a running frame).
+        """
+        if not self.is_alive:
+            raise RuntimeError(f"{self!r} has already terminated")
+        if self.env.active_process is self:
+            raise RuntimeError("a process cannot interrupt itself")
+        # Detach from whatever the process was waiting for ...
+        if self._target is not None:
+            self._target._remove_callback(self._resume)
+            self._target = None
+        # ... and resume it immediately with the interrupt.
+        wakeup = Event(self.env)
+        wakeup.callbacks.append(self._resume_with_interrupt)
+        wakeup.succeed(Interrupt(cause))
+
+    def kill(self) -> None:
+        """Forcibly terminate the process by throwing :class:`ProcessKilled`.
+
+        Unlike interrupt, a kill that the process body does not catch is
+        swallowed: the process event fails defused, waiters see the failure.
+        """
+        if not self.is_alive:
+            return
+        if self._target is not None:
+            self._target._remove_callback(self._resume)
+            self._target = None
+        wakeup = Event(self.env)
+        wakeup.callbacks.append(self._resume_with_kill)
+        wakeup.succeed(None)
+
+    # -- resume paths --------------------------------------------------------
+
+    def _resume_with_interrupt(self, ev: Event) -> None:
+        self._step(throw=ev.value)
+
+    def _resume_with_kill(self, ev: Event) -> None:
+        self._step(throw=ProcessKilled(), killing=True)
+
+    def _resume(self, ev: Event) -> None:
+        if not ev.ok:
+            self._step(throw=ev.value)
+        else:
+            self._step(send=ev.value)
+
+    def _step(
+        self,
+        send: Any = None,
+        throw: BaseException | None = None,
+        killing: bool = False,
+    ) -> None:
+        """Advance the generator one step and rearm on its next yield."""
+        self._target = None
+        self.env._active = self
+        try:
+            if throw is not None:
+                target = self._generator.throw(throw)
+            else:
+                target = self._generator.send(send)
+        except StopIteration as stop:
+            self.env._active = None
+            self.succeed(stop.value)
+            return
+        except ProcessKilled as exc:
+            self.env._active = None
+            if killing:
+                # Normal kill path: fail quietly, nobody has to observe it.
+                self.fail(exc)
+                self.defused = True
+            else:
+                self.fail(exc)
+            return
+        except BaseException as exc:
+            self.env._active = None
+            self.fail(exc)
+            return
+        finally:
+            if self.env._active is self:
+                self.env._active = None
+
+        if not isinstance(target, Event):
+            err = RuntimeError(
+                f"process {self.name!r} yielded {target!r}, expected an Event"
+            )
+            self._generator.close()
+            self.fail(err)
+            return
+        if target.env is not self.env:
+            self._generator.close()
+            self.fail(RuntimeError("yielded event belongs to another environment"))
+            return
+        if target.processed:
+            # Already done: resume at the current time through the queue so
+            # simultaneous events keep FIFO order.
+            proxy = Event(self.env)
+            proxy.callbacks.append(self._resume)
+            if target.ok:
+                proxy.succeed(target.value)
+            else:
+                target.defused = True
+                proxy.fail(target.value)
+            self._target = proxy
+        else:
+            target.callbacks.append(self._resume)
+            self._target = target
+            if target.triggered and not target._ok:
+                # We are now a waiter on the failure, so it is handled.
+                target.defused = True
+
+    def __repr__(self) -> str:
+        status = "alive" if self.is_alive else "dead"
+        return f"<Process {self.name} {status} at {id(self):#x}>"

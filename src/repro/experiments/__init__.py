@@ -1,0 +1,54 @@
+"""Per-figure experiment harnesses.
+
+Each module regenerates one table or figure of the paper's evaluation
+(§4): it runs the measure → translate → simulate pipeline over the
+appropriate benchmarks and parameter sweeps and formats the same
+rows/series the paper reports.  Results come back as
+:class:`ExperimentResult` objects with numeric series (for tests and
+benches) and a ``format()`` text report (tables + ASCII curve shapes).
+
+| module  | reproduces |
+|---------|------------|
+| fig4    | speedup curves for all benchmarks (Figure 4) |
+| fig5    | comparison of different Grid extrapolations (Figure 5) |
+| fig6    | execution time / speedup under MipsRatio 2.0, 1.0, 0.5 (Figure 6) |
+| fig7    | MipsRatio x CommStartupTime on Mgrid (Figure 7) |
+| fig8    | remote data request service policies (Figure 8) |
+| fig9    | Matmul validation vs the reference CM-5 (Figure 9, Table 3) |
+| tables  | Table 1 / Table 2 / Table 3 contents from the live objects |
+| ablations | barrier algorithm, topology, contention, poll interval, overhead compensation |
+
+``quick=True`` (default) uses scaled-down problem instances so every
+experiment runs in seconds; ``quick=False`` uses paper-flavoured sizes.
+"""
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments import (  # noqa: F401 - re-exported harness modules
+    ablations,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    multithread_study,
+    tables,
+    validation,
+)
+from repro.experiments.runner import EXPERIMENTS, run_experiment
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "ablations",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "multithread_study",
+    "run_experiment",
+    "tables",
+    "validation",
+]

@@ -1,0 +1,268 @@
+"""Ablation studies on the simulator's design choices.
+
+Not figures from the paper, but sweeps over the substitutable model
+components the paper's simulation architecture advertises (§3.3): the
+barrier algorithm, the interconnect topology, the analytical contention
+model, the poll interval, and instrumentation-overhead compensation in
+the translation step.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.bench.cyclic import make_program as make_cyclic
+from repro.bench.grid import make_program as make_grid
+from repro.core.pipeline import extrapolate, measure
+from repro.core.translation import translate
+from repro.experiments.base import ExperimentResult
+from repro.experiments.paramsets import (
+    PROCESSOR_COUNTS,
+    cyclic_config,
+    figure4_params,
+    grid_config,
+)
+from repro.pcxx.runtime import TracingRuntime
+from repro.sim.topology import available_topologies
+
+
+def barrier_algorithms(
+    *, quick: bool = True, processor_counts: Sequence[int] = PROCESSOR_COUNTS
+) -> ExperimentResult:
+    """Linear vs logarithmic vs hardware barriers on Cyclic.
+
+    The linear master–slave barrier is the paper's upper bound; the tree
+    cuts the master's serial arrival processing; hardware is the floor.
+    """
+    counts = [p for p in processor_counts if (p & (p - 1)) == 0]
+    maker = make_cyclic(cyclic_config(quick=quick))
+    base = figure4_params()
+    result = ExperimentResult(
+        name="ablation-barrier",
+        title="Barrier algorithm ablation (Cyclic execution time)",
+        ylabel="execution time (us)",
+    )
+    traces = {p: measure(maker(p), p, name="cyclic") for p in counts}
+    for alg in ("linear", "log", "hardware"):
+        params = base.with_(barrier={"algorithm": alg})
+        result.series[alg] = {
+            p: extrapolate(traces[p], params).predicted_time for p in counts
+        }
+    top = max(counts)
+    lin, log_, hw = (result.series[a][top] for a in ("linear", "log", "hardware"))
+    result.notes.append(
+        f"at P={top}: linear {lin:.0f} us >= log {log_:.0f} us >= "
+        f"hardware {hw:.0f} us expected"
+    )
+    return result
+
+
+def topologies(
+    *, quick: bool = True, processor_counts: Sequence[int] = (8, 16, 32)
+) -> ExperimentResult:
+    """Interconnect topology sweep on Grid (actual transfer sizes)."""
+    maker = make_grid(grid_config(quick=quick))
+    base = figure4_params()
+    result = ExperimentResult(
+        name="ablation-topology",
+        title="Topology ablation (Grid execution time, actual sizes)",
+        ylabel="execution time (us)",
+    )
+    traces = {
+        p: measure(maker(p), p, name="grid", size_mode="actual")
+        for p in processor_counts
+    }
+    for topo in available_topologies():
+        params = base.with_(network={"topology": topo})
+        result.series[topo] = {
+            p: extrapolate(traces[p], params).predicted_time
+            for p in processor_counts
+        }
+    top = max(processor_counts)
+    bus = result.series["bus"][top]
+    xbar = result.series["crossbar"][top]
+    result.notes.append(
+        f"at P={top}: bus {bus:.0f} us vs crossbar {xbar:.0f} us "
+        "(bisection-1 bus should be slowest under contention)"
+    )
+    return result
+
+
+def contention(
+    *, quick: bool = True, processor_counts: Sequence[int] = (8, 16, 32)
+) -> ExperimentResult:
+    """Analytical contention model on/off and strength sweep (Grid)."""
+    maker = make_grid(grid_config(quick=quick))
+    base = figure4_params().with_(network={"topology": "bus"})
+    result = ExperimentResult(
+        name="ablation-contention",
+        title="Contention-model ablation (Grid on a bus)",
+        ylabel="execution time (us)",
+    )
+    traces = {
+        p: measure(maker(p), p, name="grid", size_mode="actual")
+        for p in processor_counts
+    }
+    for label, overrides in [
+        ("off", {"contention": False}),
+        ("factor=0.5", {"contention": True, "contention_factor": 0.5}),
+        ("factor=1.0", {"contention": True, "contention_factor": 1.0}),
+        ("factor=2.0", {"contention": True, "contention_factor": 2.0}),
+    ]:
+        params = base.with_(network=overrides)
+        result.series[label] = {
+            p: extrapolate(traces[p], params).predicted_time
+            for p in processor_counts
+        }
+    return result
+
+
+def poll_interval(
+    *, quick: bool = True, processor_counts: Sequence[int] = (8, 16, 32)
+) -> ExperimentResult:
+    """Poll-interval sweep on Cyclic ("an optimal choice of the polling
+    interval is certainly system and likely problem specific")."""
+    counts = [p for p in processor_counts if (p & (p - 1)) == 0]
+    maker = make_cyclic(cyclic_config(quick=quick))
+    base = figure4_params()
+    result = ExperimentResult(
+        name="ablation-poll",
+        title="Poll interval sweep (Cyclic execution time)",
+        ylabel="execution time (us)",
+    )
+    traces = {p: measure(maker(p), p, name="cyclic") for p in counts}
+    for interval in (25.0, 100.0, 400.0, 1600.0):
+        params = base.with_(
+            processor={"policy": "poll", "poll_interval": interval}
+        )
+        result.series[f"poll@{interval:g}us"] = {
+            p: extrapolate(traces[p], params).predicted_time for p in counts
+        }
+    return result
+
+
+def placement(
+    *, quick: bool = True, processor_counts: Sequence[int] = (8, 16, 32)
+) -> ExperimentResult:
+    """Processor-mapping extrapolation (§2's "processor mappings" axis).
+
+    Grid's traffic is nearest-neighbour on the patch grid; on a 2-D mesh
+    the natural row-major placement keeps it short-range while a
+    stride-shuffled placement stretches every exchange across the
+    machine.
+    """
+    from repro.sim.simulator import simulate
+
+    maker = make_grid(grid_config(quick=quick))
+    base = figure4_params().with_(
+        network={"topology": "mesh2d", "hop_time": 10.0}
+    )
+    result = ExperimentResult(
+        name="ablation-placement",
+        title="Processor-mapping ablation (Grid on a 2-D mesh)",
+        ylabel="execution time (us)",
+    )
+    natural: dict = {}
+    shuffled: dict = {}
+    for p in processor_counts:
+        trace = measure(maker(p), p, name="grid", size_mode="actual")
+        tp = translate(trace)
+        natural[p] = simulate(tp, base).execution_time
+        # Deterministic adjacency-breaking shuffle (stride isqrt(p)+1).
+        stride = int(p**0.5) + 1
+        perm = sorted(range(p), key=lambda t: (t * stride) % p * p + t)
+        shuffled[p] = simulate(tp, base, placement=perm).execution_time
+    result.series["natural placement"] = natural
+    result.series["shuffled placement"] = shuffled
+    top = max(processor_counts)
+    result.notes.append(
+        f"at P={top}: natural {natural[top]:.0f} us vs shuffled "
+        f"{shuffled[top]:.0f} us "
+        f"(+{shuffled[top] / natural[top] - 1:.1%} from longer routes)"
+    )
+    return result
+
+
+def noise_sensitivity(
+    *, quick: bool = True, n_threads: int = 16, trials: int = 5
+) -> ExperimentResult:
+    """Prediction robustness under measurement noise (§2's uncertainty).
+
+    Re-measures Grid with increasing relative timing noise on compute
+    phases and reports the spread of the resulting predictions.  A
+    technique whose predictions scatter wildly under small measurement
+    jitter would be useless for ranking design alternatives; this
+    quantifies how far that is from the case.
+    """
+    from repro.sim.simulator import simulate
+
+    maker = make_grid(grid_config(quick=quick))
+    params = figure4_params()
+    result = ExperimentResult(
+        name="ablation-noise",
+        title="Prediction spread under measurement noise (Grid)",
+        ylabel="predicted execution time (us)",
+    )
+    for noise in (0.0, 0.02, 0.05, 0.10, 0.20):
+        times = []
+        for trial in range(1 if noise == 0.0 else trials):
+            trace = measure(
+                maker(n_threads),
+                n_threads,
+                name="grid",
+                size_mode="actual",
+                compute_noise=noise,
+                noise_seed=1000 + trial,
+            )
+            times.append(extrapolate(trace, params).predicted_time)
+        label = f"noise={noise:.0%}"
+        result.series[label] = {
+            i + 1: t for i, t in enumerate(sorted(times))
+        }
+        if noise > 0:
+            spread = (max(times) - min(times)) / min(times)
+            result.notes.append(
+                f"{label}: prediction spread {spread:.1%} over {trials} trials"
+            )
+    return result
+
+
+def overhead_compensation(
+    *, quick: bool = True, n_threads: int = 8
+) -> ExperimentResult:
+    """Translation-time compensation of instrumentation overhead.
+
+    Measures Grid with a per-event recording overhead, then translates
+    with and without compensation; the compensated ideal time should
+    match the unperturbed measurement's.
+    """
+    from repro.bench.grid import make_program
+
+    cfg = grid_config(quick=quick)
+    maker = make_program(cfg)
+    overhead = 50.0
+    result = ExperimentResult(
+        name="ablation-overhead",
+        title="Instrumentation-overhead compensation in translation",
+        ylabel="ideal execution time (us)",
+    )
+    clean = measure(maker(n_threads), n_threads, name="grid")
+    perturbed = measure(
+        maker(n_threads), n_threads, name="grid", event_overhead=overhead
+    )
+    t_clean = translate(clean).ideal_execution_time()
+    t_raw = translate(perturbed).ideal_execution_time()
+    t_comp = translate(
+        perturbed, event_overhead=overhead
+    ).ideal_execution_time()
+    result.series["ideal time"] = {
+        1: t_clean,
+        2: t_raw,
+        3: t_comp,
+    }
+    result.notes.append(
+        f"clean measurement: {t_clean:.0f} us; perturbed (+{overhead:g}us/event): "
+        f"{t_raw:.0f} us; compensated: {t_comp:.0f} us "
+        f"(residual {abs(t_comp - t_clean) / t_clean:.2%})"
+    )
+    return result

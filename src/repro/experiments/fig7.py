@@ -1,0 +1,62 @@
+"""Figure 7 — effect of MipsRatio and CommStartupTime on Mgrid.
+
+Execution times for MipsRatio in {1.0, 0.25} x CommStartupTime in
+{5, 100, 200} us.  The paper's observation: the processor count
+delivering minimum execution time moves from 16 (MipsRatio 1.0) down to
+4 (MipsRatio 0.25) — with faster processors, communication overhead
+bites earlier.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.bench.mgrid import make_program
+from repro.experiments.base import ExperimentResult
+from repro.experiments.paramsets import PROCESSOR_COUNTS, figure4_params, mgrid_config
+from repro.metrics.scaling import run_scaling_study
+
+MIPS_RATIOS = (1.0, 0.25)
+STARTUPS = (5.0, 100.0, 200.0)
+
+
+def run(
+    *,
+    quick: bool = True,
+    processor_counts: Sequence[int] = PROCESSOR_COUNTS,
+) -> ExperimentResult:
+    """Regenerate Figure 7 (Mgrid execution times in us)."""
+    cfg = mgrid_config(quick=quick)
+    maker = make_program(cfg)
+    base = figure4_params()
+    result = ExperimentResult(
+        name="fig7",
+        title="Effect of MipsRatio and CommStartupTime on Mgrid",
+        ylabel="execution time (us)",
+    )
+    best = {}
+    for ratio in MIPS_RATIOS:
+        for startup in STARTUPS:
+            params = base.with_(
+                processor={"mips_ratio": ratio},
+                network={"comm_startup_time": startup},
+            )
+            study = run_scaling_study(
+                maker, params, name="mgrid", processor_counts=processor_counts
+            )
+            key = f"mips={ratio} startup={startup:g}us"
+            result.series[key] = study.times
+            best[(ratio, startup)] = study.best_processor_count()
+
+    for (ratio, startup), p in sorted(best.items()):
+        result.notes.append(
+            f"minimum execution time at MipsRatio={ratio}, "
+            f"CommStartupTime={startup:g}us: P={p}"
+        )
+    slow = {s: best[(1.0, s)] for s in STARTUPS}
+    fast = {s: best[(0.25, s)] for s in STARTUPS}
+    result.notes.append(
+        "expected: the faster processor (MipsRatio 0.25) reaches its "
+        f"minimum at fewer processors — got {slow} vs {fast}"
+    )
+    return result

@@ -1,0 +1,95 @@
+"""Benchmark configurations and parameter sets used by the experiments.
+
+``quick`` configurations keep every experiment in the seconds range;
+``paper`` configurations use paper-flavoured sizes (e.g. Grid with
+~650 barriers and 231456-byte elements).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Sequence
+
+from repro.bench.cyclic import CyclicConfig
+from repro.bench.embar import EmbarConfig
+from repro.bench.grid import GridConfig, PAPER_ELEMENT_NBYTES
+from repro.bench.matmul import MatmulConfig
+from repro.bench.mgrid import MgridConfig
+from repro.bench.poisson import PoissonConfig
+from repro.bench.sort import SortConfig
+from repro.bench.sparse import SparseConfig
+from repro.core import presets
+from repro.core.parameters import SimulationParameters
+
+#: The processor counts of §4.1.
+PROCESSOR_COUNTS: Sequence[int] = (1, 2, 4, 8, 16, 32)
+
+
+def suite_configs(quick: bool = True) -> Dict[str, Any]:
+    """One config per suite benchmark (Matmul is separate, §4.2)."""
+    if quick:
+        return {
+            "embar": EmbarConfig(total_pairs=1 << 13, chunks=32),
+            "cyclic": CyclicConfig(system_size=1 << 14),
+            "sparse": SparseConfig(size=192, density=0.06, iterations=3),
+            "grid": GridConfig(patch_rows=6, patch_cols=6, m=8, iterations=4),
+            "mgrid": MgridConfig(patch_rows=6, patch_cols=6, m=16, cycles=1),
+            "poisson": PoissonConfig(size=48),
+            "sort": SortConfig(total_keys=1 << 12),
+        }
+    return {
+        "embar": EmbarConfig(total_pairs=1 << 17, chunks=64),
+        "cyclic": CyclicConfig(system_size=1 << 15),
+        "sparse": SparseConfig(),
+        "grid": GridConfig(),
+        "mgrid": MgridConfig(),
+        "poisson": PoissonConfig(),
+        "sort": SortConfig(),
+    }
+
+
+def grid_config(quick: bool = True) -> GridConfig:
+    """Grid instance for the Figure 5 / Figure 8 studies.
+
+    Uses the paper's element abstraction (231456-byte compiler-reported
+    elements, 2/128-byte actual transfers with 16-wide patches).
+    """
+    if quick:
+        return GridConfig(
+            patch_rows=6,
+            patch_cols=6,
+            m=16,
+            iterations=4,
+            element_nbytes=PAPER_ELEMENT_NBYTES,
+        )
+    return GridConfig.paper_like()
+
+
+def mgrid_config(quick: bool = True) -> MgridConfig:
+    if quick:
+        return MgridConfig(patch_rows=6, patch_cols=6, m=16, cycles=1)
+    return MgridConfig()
+
+
+def cyclic_config(quick: bool = True) -> CyclicConfig:
+    return CyclicConfig(system_size=1 << 14 if quick else 1 << 15)
+
+
+def matmul_config(
+    row_dist: str = "block", col_dist: str = "block", quick: bool = True
+) -> MatmulConfig:
+    return MatmulConfig(
+        size=12 if quick else 16, row_dist=row_dist, col_dist=col_dist
+    )
+
+
+def figure4_params() -> SimulationParameters:
+    """Figure 4's environment: distributed memory, 20 MB/s links,
+    relatively high communication overheads and synchronisation costs."""
+    return presets.distributed_memory()
+
+
+def figure8_params() -> SimulationParameters:
+    """Figure 8 keeps CommStartupTime = 100 us (stated in §4.1)."""
+    return presets.distributed_memory().with_(
+        network={"comm_startup_time": 100.0}
+    )

@@ -1,0 +1,48 @@
+"""Experiment registry and dispatch (used by the CLI and benches)."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.experiments import (
+    ablations,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    multithread_study,
+    validation,
+)
+from repro.experiments.base import ExperimentResult
+
+#: name -> callable(quick=...) returning an ExperimentResult
+EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
+    "fig4": fig4.run,
+    "fig5": fig5.run,
+    "fig6": fig6.run,
+    "fig7": fig7.run,
+    "fig8": fig8.run,
+    "fig9": fig9.run,
+    "validation-suite": validation.run,
+    "ablation-barrier": ablations.barrier_algorithms,
+    "ablation-topology": ablations.topologies,
+    "ablation-contention": ablations.contention,
+    "ablation-poll": ablations.poll_interval,
+    "ablation-placement": ablations.placement,
+    "ablation-noise": ablations.noise_sensitivity,
+    "ablation-overhead": ablations.overhead_compensation,
+    "ablation-multithread": multithread_study.run,
+}
+
+
+def run_experiment(name: str, *, quick: bool = True, **kwargs) -> ExperimentResult:
+    """Run one experiment by registry name."""
+    try:
+        fn = EXPERIMENTS[name.strip().lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment {name!r}; available: {sorted(EXPERIMENTS)}"
+        ) from None
+    return fn(quick=quick, **kwargs)

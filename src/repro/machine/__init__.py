@@ -1,0 +1,32 @@
+"""Reference target-machine simulator (the "actual CM-5" stand-in).
+
+The paper validates ExtraP by running Matmul on a real CM-5 (§4.2,
+Figure 9).  Without 1990s hardware, this package provides the measured
+side of that comparison: a *direct simulation* that runs the same
+benchmark programs on n simulated processors with a message-level
+network model — strictly more detailed than the extrapolation models:
+
+* every message individually occupies its source and destination network
+  ports (endpoint contention is simulated, not analytical);
+* remote requests are serviced by a per-node active-message handler
+  (CM-5 style), concurrent with computation;
+* barriers use a dedicated control-network model (the CM-5's hardware
+  barrier), with per-node entry/exit costs and a tree-latency release.
+
+Because it executes the real program (not a trace), it produces a
+measured trace and execution time to validate extrapolated predictions
+against — "the key is to capture as best as possible the
+characteristics of the execution environment".
+"""
+
+from repro.machine.spec import CM5_SPEC, PARAGON_SPEC, MachineSpec
+from repro.machine.machine import Machine, MachineResult, run_on_machine
+
+__all__ = [
+    "CM5_SPEC",
+    "Machine",
+    "MachineResult",
+    "MachineSpec",
+    "PARAGON_SPEC",
+    "run_on_machine",
+]

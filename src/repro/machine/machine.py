@@ -1,0 +1,358 @@
+"""Direct simulation of benchmark programs on a target machine.
+
+Runs the *same* program factories the tracing runtime accepts (they only
+use ``rt.n_threads`` and the ThreadCtx generator API), but every
+operation takes simulated time on a message-level machine model:
+
+* ``compute(flops)`` — busy for ``flops / node_mflops``;
+* ``get``/``put`` of a remote element — request/reply (or write/ack)
+  messages through the port-based fat-tree network
+  (:mod:`repro.machine.network`), serviced by the owner's
+  active-message handler process;
+* ``barrier()`` — the control-network hardware barrier.
+
+The result carries the measured execution time and a measured trace
+(barrier/remote events with machine timestamps) so the validation
+experiment can compare predicted against "measured" performance
+information, exactly as Figure 9 does.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, List, Optional
+
+from repro.des import Environment, Event, Store
+from repro.machine.network import PortNetwork, WireMessage
+from repro.machine.spec import CM5_SPEC, MachineSpec
+from repro.pcxx.collection import Collection, Index
+from repro.trace.events import EventKind, TraceEvent
+from repro.trace.trace import ThreadTrace, TraceMeta
+
+
+@dataclass
+class NodeStats:
+    """Per-node accounting for the reference machine."""
+
+    pid: int = 0
+    compute_time: float = 0.0
+    local_accesses: int = 0
+    remote_accesses: int = 0
+    requests_served: int = 0
+    barrier_time: float = 0.0
+    comm_wait: float = 0.0
+    end_time: float = 0.0
+
+
+@dataclass
+class MachineResult:
+    """Measured performance information from one direct-simulated run."""
+
+    meta: TraceMeta
+    spec: MachineSpec
+    execution_time: float
+    nodes: List[NodeStats]
+    threads: List[ThreadTrace]
+    messages: int = 0
+    message_bytes: int = 0
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.nodes)
+
+    def summary(self) -> str:
+        return (
+            f"{self.meta.program or 'program'} on {self.n_nodes}-node "
+            f"{self.spec.name}: measured time {self.execution_time:.1f} us, "
+            f"{self.messages} messages"
+        )
+
+
+class _HwBarrier:
+    """The control-network barrier: release fires ``latency`` after the
+    last arrival of each episode."""
+
+    def __init__(self, env: Environment, n: int, latency: float):
+        self.env = env
+        self.n = n
+        self.latency = latency
+        self._arrived: Dict[int, int] = {}
+        self._released: Dict[int, Event] = {}
+
+    def release_event(self, bid: int) -> Event:
+        if bid not in self._released:
+            self._released[bid] = Event(self.env)
+        return self._released[bid]
+
+    def arrive(self, bid: int) -> Event:
+        self._arrived[bid] = self._arrived.get(bid, 0) + 1
+        release = self.release_event(bid)
+        if self._arrived[bid] >= self.n and not release.triggered:
+            release.succeed(delay=self.latency)
+        return release
+
+
+class Machine:
+    """An n-node direct-simulated target machine."""
+
+    def __init__(self, n: int, spec: MachineSpec = CM5_SPEC):
+        if n < 1:
+            raise ValueError(f"need at least 1 node, got {n}")
+        self.n = n
+        self.spec = spec
+        self.env = Environment()
+        self.network = PortNetwork(self.env, n, spec)
+        self.barrier = _HwBarrier(self.env, n, spec.barrier_latency)
+        self.nodes: List[MachineNode] = [
+            MachineNode(self, pid) for pid in range(n)
+        ]
+        self.network.attach([node.deliver for node in self.nodes])
+        self._msg_ids = itertools.count()
+        self._ran = False
+
+    @property
+    def n_threads(self) -> int:
+        """Program factories address the machine like a tracing runtime."""
+        return self.n
+
+    def run(self, program_factory: Callable, *, name: str = "") -> MachineResult:
+        """Execute a program factory to completion on the machine."""
+        if self._ran:
+            raise RuntimeError("machine already ran a program; create a new one")
+        self._ran = True
+        bodies = program_factory(self)
+        if callable(bodies):
+            bodies = [bodies] * self.n
+        if len(bodies) != self.n:
+            raise ValueError(f"{len(bodies)} bodies for {self.n} nodes")
+        for node, body in zip(self.nodes, bodies):
+            self.env.process(node.main(body), name=f"node{node.pid}")
+            self.env.process(node.handler(), name=f"handler{node.pid}")
+        done = self.env.all_of([node.done for node in self.nodes])
+        while not done.triggered:
+            if self.env.peek() == float("inf"):
+                stuck = [nd.pid for nd in self.nodes if not nd.done.triggered]
+                raise RuntimeError(f"machine deadlocked; nodes {stuck} never finished")
+            self.env.step()
+        self.env.run(None)
+        return MachineResult(
+            meta=TraceMeta(program=name, n_threads=self.n, size_mode="actual"),
+            spec=self.spec,
+            execution_time=max(nd.stats.end_time for nd in self.nodes),
+            nodes=[nd.stats for nd in self.nodes],
+            threads=[ThreadTrace(nd.pid, nd.out_events) for nd in self.nodes],
+            messages=self.network.stats.messages,
+            message_bytes=self.network.stats.bytes,
+        )
+
+
+class MachineNode:
+    """One node: the program thread plus its active-message handler.
+
+    Presents the same generator API as
+    :class:`repro.pcxx.runtime.ThreadCtx`, so benchmark bodies run
+    unmodified.
+    """
+
+    def __init__(self, machine: Machine, pid: int):
+        self.machine = machine
+        self.env = machine.env
+        self.spec = machine.spec
+        self.pid = pid
+        self.tid = pid  # ThreadCtx-compatible alias
+        self.inbox: Store = Store(self.env)
+        self.pending: Dict[int, Event] = {}
+        self.stats = NodeStats(pid=pid)
+        self.out_events: List[TraceEvent] = []
+        self.done = Event(self.env)
+        self._barrier_seq = 0
+
+    # -- ThreadCtx-compatible introspection ---------------------------------
+
+    @property
+    def n_threads(self) -> int:
+        return self.machine.n
+
+    @property
+    def now(self) -> float:
+        return self.env.now
+
+    def local_indices(self, coll: Collection) -> List[Index]:
+        return coll.local_indices(self.pid)
+
+    def _record(self, kind: EventKind, **kw) -> None:
+        self.out_events.append(TraceEvent(self.env.now, self.pid, kind, **kw))
+
+    # -- processes ------------------------------------------------------------
+
+    def main(self, body: Callable) -> Generator:
+        """The program thread."""
+        self._record(EventKind.THREAD_BEGIN)
+        yield from body(self)
+        self._record(EventKind.THREAD_END)
+        self.stats.end_time = self.env.now
+        self.done.succeed()
+
+    def handler(self) -> Generator:
+        """Active-message handler: services remote requests concurrently
+        with computation (network-interface work, not node CPU)."""
+        while True:
+            msg: WireMessage = yield self.inbox.get()
+            if msg.kind in ("reply", "write_ack"):
+                ev = self.pending.pop(msg.msg_id, None)
+                if ev is None:
+                    raise RuntimeError(
+                        f"node {self.pid}: unexpected {msg.kind} id={msg.msg_id}"
+                    )
+                ev.succeed(msg)
+                continue
+            yield self.env.timeout(self.spec.service_time)
+            self.stats.requests_served += 1
+            if msg.kind == "request":
+                # Read the element *now* (the program's barrier discipline
+                # guarantees read/write phases do not overlap).
+                value = msg.coll._load(msg.index)
+                yield from self.machine.network.send(
+                    WireMessage(
+                        "reply",
+                        src=self.pid,
+                        dst=msg.src,
+                        nbytes=msg.reply_nbytes,
+                        msg_id=msg.msg_id,
+                        payload=value,
+                    )
+                )
+            elif msg.kind == "write":
+                msg.coll._store(msg.index, msg.payload)
+                yield from self.machine.network.send(
+                    WireMessage(
+                        "write_ack",
+                        src=self.pid,
+                        dst=msg.src,
+                        nbytes=0,
+                        msg_id=msg.msg_id,
+                    )
+                )
+            else:  # pragma: no cover - exhaustive
+                raise AssertionError(f"unhandled message kind {msg.kind}")
+
+    def deliver(self, msg: WireMessage) -> None:
+        self.inbox.put(msg)
+
+    # -- ThreadCtx-compatible operations ----------------------------------------
+
+    def compute(self, flops: float) -> Generator:
+        if flops < 0:
+            raise ValueError(f"negative flop count {flops}")
+        dt = flops / self.spec.node_mflops
+        yield self.env.timeout(dt)
+        self.stats.compute_time += dt
+
+    def compute_us(self, us: float) -> Generator:
+        if us < 0:
+            raise ValueError(f"negative compute time {us}")
+        yield self.env.timeout(us)
+        self.stats.compute_time += us
+
+    def get(self, coll: Collection, index: Index, nbytes: int | None = None) -> Generator:
+        owner = coll.owner(index)
+        if owner == self.pid:
+            self.stats.local_accesses += 1
+            if self.spec.local_access_time:
+                yield self.env.timeout(self.spec.local_access_time)
+            return coll._load(index)
+        reply_nbytes = nbytes if nbytes is not None else coll.element_nbytes
+        self._record(
+            EventKind.REMOTE_READ,
+            owner=owner,
+            nbytes=int(reply_nbytes),
+            collection=coll.name,
+        )
+        mid = next(self.machine._msg_ids)
+        ev = Event(self.env)
+        self.pending[mid] = ev
+        t0 = self.env.now
+        yield from self.machine.network.send(
+            WireMessage(
+                "request",
+                src=self.pid,
+                dst=owner,
+                nbytes=self.spec.request_nbytes,
+                msg_id=mid,
+                coll=coll,
+                index=index,
+                reply_nbytes=int(reply_nbytes),
+            )
+        )
+        reply = yield ev
+        self.stats.remote_accesses += 1
+        self.stats.comm_wait += self.env.now - t0
+        return reply.payload
+
+    def put(
+        self, coll: Collection, index: Index, value: Any, nbytes: int | None = None
+    ) -> Generator:
+        owner = coll.owner(index)
+        if owner == self.pid:
+            self.stats.local_accesses += 1
+            coll._store(index, value)
+            if self.spec.local_access_time:
+                yield self.env.timeout(self.spec.local_access_time)
+            return
+        wire_nbytes = nbytes if nbytes is not None else coll.element_nbytes
+        self._record(
+            EventKind.REMOTE_WRITE,
+            owner=owner,
+            nbytes=int(wire_nbytes),
+            collection=coll.name,
+        )
+        mid = next(self.machine._msg_ids)
+        ev = Event(self.env)
+        self.pending[mid] = ev
+        t0 = self.env.now
+        yield from self.machine.network.send(
+            WireMessage(
+                "write",
+                src=self.pid,
+                dst=owner,
+                nbytes=int(wire_nbytes),
+                msg_id=mid,
+                coll=coll,
+                index=index,
+                payload=value,
+            )
+        )
+        yield ev
+        self.stats.remote_accesses += 1
+        self.stats.comm_wait += self.env.now - t0
+
+    def barrier(self) -> Generator:
+        bid = self._barrier_seq
+        self._barrier_seq += 1
+        t0 = self.env.now
+        self._record(EventKind.BARRIER_ENTER, barrier_id=bid)
+        if self.spec.barrier_entry_time:
+            yield self.env.timeout(self.spec.barrier_entry_time)
+        release = self.machine.barrier.arrive(bid)
+        yield release
+        if self.spec.barrier_exit_time:
+            yield self.env.timeout(self.spec.barrier_exit_time)
+        self._record(EventKind.BARRIER_EXIT, barrier_id=bid)
+        self.stats.barrier_time += self.env.now - t0
+
+    def mark(self, tag: str) -> Generator:
+        self._record(EventKind.MARK, tag=tag)
+        return
+        yield  # pragma: no cover
+
+
+def run_on_machine(
+    program_factory: Callable,
+    n: int,
+    *,
+    spec: MachineSpec = CM5_SPEC,
+    name: str = "",
+) -> MachineResult:
+    """Convenience: build a machine, run the program, return the result."""
+    return Machine(n, spec).run(program_factory, name=name)

@@ -1,0 +1,98 @@
+"""Scalar performance metrics derived from simulation results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence
+
+from repro.sim.result import SimulationResult
+
+
+@dataclass(frozen=True)
+class PerformanceMetrics:
+    """Predicted performance metrics for one (program, environment) pair.
+
+    All times in microseconds.
+    """
+
+    execution_time: float
+    n_processors: int
+    speedup: Optional[float]
+    efficiency: Optional[float]
+    comp_comm_ratio: float
+    utilization: float
+    compute_time_total: float
+    comm_time_total: float
+    barrier_time_total: float
+    barrier_count: int
+    messages: int
+    message_bytes: int
+
+    def as_row(self) -> list:
+        """Row for tabular reports."""
+        return [
+            self.n_processors,
+            self.execution_time,
+            self.speedup if self.speedup is not None else float("nan"),
+            self.efficiency if self.efficiency is not None else float("nan"),
+            self.utilization,
+            self.comp_comm_ratio,
+            self.messages,
+        ]
+
+    ROW_HEADERS = ["P", "time_us", "speedup", "efficiency", "util", "comp/comm", "msgs"]
+
+
+def derive_metrics(
+    result: SimulationResult, baseline_time: float | None = None
+) -> PerformanceMetrics:
+    """Derive metrics from one simulation result.
+
+    ``baseline_time`` is the 1-processor execution time in the *same*
+    target environment; speedup/efficiency are None without it.
+    """
+    n = result.n_processors
+    speedup = efficiency = None
+    if baseline_time is not None:
+        if baseline_time <= 0:
+            raise ValueError(f"baseline time must be positive, got {baseline_time}")
+        if result.execution_time > 0:
+            speedup = baseline_time / result.execution_time
+            efficiency = speedup / n
+    return PerformanceMetrics(
+        execution_time=result.execution_time,
+        n_processors=n,
+        speedup=speedup,
+        efficiency=efficiency,
+        comp_comm_ratio=result.comp_comm_ratio(),
+        utilization=result.utilization(),
+        compute_time_total=result.total_compute_time(),
+        comm_time_total=result.total_comm_time(),
+        barrier_time_total=result.total_barrier_time(),
+        barrier_count=result.barrier_count,
+        messages=result.network.messages,
+        message_bytes=result.network.bytes,
+    )
+
+
+def speedups(times: Mapping[int, float]) -> Dict[int, float]:
+    """Speedup curve from a {processors: time} mapping.
+
+    The baseline is the smallest processor count present (normally 1).
+
+    >>> speedups({1: 100.0, 2: 50.0, 4: 30.0})
+    {1: 1.0, 2: 2.0, 4: 3.3333333333333335}
+    """
+    if not times:
+        return {}
+    base_p = min(times)
+    base = times[base_p]
+    if base <= 0:
+        raise ValueError(f"non-positive baseline time {base} at P={base_p}")
+    out: Dict[int, float] = {}
+    for p in sorted(times):
+        t = times[p]
+        if t <= 0:
+            raise ValueError(f"non-positive time {t} at P={p}")
+        out[p] = base / t
+    return out

@@ -1,0 +1,121 @@
+"""Processor-scaling studies: run one program across processor counts.
+
+This is the machinery behind every speedup figure in the paper's
+evaluation: measure the program at each thread count on the (virtual)
+1-processor machine, extrapolate each trace to the target environment,
+and tabulate times and speedups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.core.parameters import SimulationParameters
+from repro.core.pipeline import ExtrapolationOutcome, extrapolate, measure
+from repro.metrics.metrics import PerformanceMetrics, derive_metrics, speedups
+from repro.util.tables import format_table
+
+#: The processor counts used throughout the paper's evaluation (§4.1).
+PAPER_PROCESSOR_COUNTS = (1, 2, 4, 8, 16, 32)
+
+#: ``make_program(n_threads) -> ProgramFactory`` — benchmarks expose this
+#: shape so the study can re-generate the program per thread count.
+ProgramMaker = Callable[[int], Callable]
+
+
+@dataclass
+class ScalingPoint:
+    """One (processor count, environment) data point."""
+
+    n: int
+    outcome: ExtrapolationOutcome
+    metrics: PerformanceMetrics
+
+
+@dataclass
+class ScalingStudy:
+    """Times and speedups of one program across processor counts.
+
+    Attributes
+    ----------
+    program_name:
+        Label for reports.
+    params:
+        Target environment the traces were extrapolated to.
+    points:
+        One :class:`ScalingPoint` per processor count, ascending.
+    """
+
+    program_name: str
+    params: SimulationParameters
+    points: List[ScalingPoint] = field(default_factory=list)
+
+    @property
+    def times(self) -> Dict[int, float]:
+        return {pt.n: pt.metrics.execution_time for pt in self.points}
+
+    @property
+    def speedup_curve(self) -> Dict[int, float]:
+        return speedups(self.times)
+
+    def point(self, n: int) -> ScalingPoint:
+        for pt in self.points:
+            if pt.n == n:
+                return pt
+        raise KeyError(f"no data point for {n} processors")
+
+    def best_processor_count(self) -> int:
+        """Processor count with minimum predicted execution time."""
+        return min(self.times, key=self.times.get)
+
+    def format(self) -> str:
+        """Tabular report: one row per processor count."""
+        curve = self.speedup_curve
+        rows = []
+        for pt in self.points:
+            m = pt.metrics
+            rows.append(
+                [
+                    pt.n,
+                    m.execution_time,
+                    curve[pt.n],
+                    curve[pt.n] / pt.n,
+                    m.utilization,
+                    m.barrier_count,
+                    m.messages,
+                ]
+            )
+        return format_table(
+            ["P", "time_us", "speedup", "efficiency", "util", "barriers", "msgs"],
+            rows,
+            title=f"{self.program_name} — {self.params.name}",
+        )
+
+
+def run_scaling_study(
+    make_program: ProgramMaker,
+    params: SimulationParameters,
+    *,
+    name: str = "",
+    processor_counts: Sequence[int] = PAPER_PROCESSOR_COUNTS,
+    size_mode: str = "compiler",
+    compensate_overhead: float = 0.0,
+    problem: Optional[Dict[str, Any]] = None,
+) -> ScalingStudy:
+    """Measure + extrapolate at each processor count; collect the curve."""
+    study = ScalingStudy(program_name=name, params=params)
+    for n in sorted(processor_counts):
+        trace = measure(
+            make_program(n), n, name=name, size_mode=size_mode, problem=problem
+        )
+        outcome = extrapolate(trace, params, compensate_overhead=compensate_overhead)
+        study.points.append(
+            ScalingPoint(n=n, outcome=outcome, metrics=derive_metrics(outcome.result))
+        )
+    # Fill in speedups relative to the smallest count.
+    base = study.points[0].metrics.execution_time if study.points else None
+    if base:
+        for pt in study.points:
+            pt.metrics = derive_metrics(pt.outcome.result, baseline_time=base)
+    return study

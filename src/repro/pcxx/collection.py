@@ -1,0 +1,109 @@
+"""Distributed collections of elements.
+
+A :class:`Collection` is the pC++ unit of data parallelism: a named,
+distributed container of element objects.  In the 1-processor tracing run
+all elements live in one global space (as in the paper's modified runtime
+system), so remote reads return the value directly; what distinguishes a
+remote access is only the *ownership* relation given by the distribution,
+which is what gets recorded in the trace.
+
+``element_nbytes`` is the collection element's size as the compiler sees
+it; the tracing runtime records this size for every remote access when
+running in ``"compiler"`` size mode, or the caller-supplied actual request
+size in ``"actual"`` mode (reproducing the Grid measurement-abstraction
+story of §4.1).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Hashable, Iterable, List, Tuple, Union
+
+from repro.pcxx.distribution import Distribution1D, Distribution2D
+
+Index = Union[int, Tuple[int, int]]
+
+
+class Collection:
+    """A named, distributed container of elements.
+
+    Parameters
+    ----------
+    name:
+        Collection name (appears in trace events).
+    distribution:
+        A :class:`Distribution1D` or :class:`Distribution2D`.
+    element_nbytes:
+        Per-element size in bytes as recorded by the compiler.
+    element_factory:
+        Optional ``factory(index) -> value`` used to populate elements
+        lazily on first read.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        distribution: Distribution1D | Distribution2D,
+        element_nbytes: int = 8,
+        element_factory: Callable[[Index], Any] | None = None,
+    ):
+        if element_nbytes <= 0:
+            raise ValueError(f"element_nbytes must be positive, got {element_nbytes}")
+        self.name = name
+        self.dist = distribution
+        self.element_nbytes = int(element_nbytes)
+        self._factory = element_factory
+        self._data: Dict[Index, Any] = {}
+
+    # -- ownership -----------------------------------------------------------
+
+    def owner(self, index: Index) -> int:
+        """Thread that owns ``index``."""
+        return self.dist.owner(index)
+
+    def local_indices(self, thread: int) -> List[Index]:
+        """Indices owned by ``thread``."""
+        return self.dist.local_indices(thread)
+
+    @property
+    def n_threads(self) -> int:
+        return self.dist.n_threads
+
+    # -- element storage (global space of the 1-processor run) ---------------
+
+    def __contains__(self, index: Index) -> bool:
+        return index in self._data
+
+    def peek(self, index: Index) -> Any:
+        """Read an element without ownership bookkeeping (test/debug aid)."""
+        return self._load(index)
+
+    def poke(self, index: Index, value: Any) -> None:
+        """Write an element without ownership bookkeeping (initialisation)."""
+        self.dist.owner(index)  # index validation
+        self._data[index] = value
+
+    def _load(self, index: Index) -> Any:
+        if index not in self._data:
+            if self._factory is None:
+                raise KeyError(
+                    f"collection {self.name!r} has no element {index!r} "
+                    "and no element factory"
+                )
+            self._data[index] = self._factory(index)
+        return self._data[index]
+
+    def _store(self, index: Index, value: Any) -> None:
+        self.dist.owner(index)  # index validation
+        self._data[index] = value
+
+    def fill(self, values: Dict[Index, Any] | Iterable[Tuple[Index, Any]]) -> None:
+        """Bulk-initialise elements."""
+        items = values.items() if isinstance(values, dict) else values
+        for idx, val in items:
+            self.poke(idx, val)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Collection {self.name!r} {type(self.dist).__name__} "
+            f"{len(self._data)} elements, {self.element_nbytes} B/elem>"
+        )

@@ -1,0 +1,96 @@
+"""Parallel method invocation — the pC++ object-parallel core (§3.1).
+
+"The collection inherits certain member functions of its elements, so
+that when such a member function is called, it is called for every
+element in the collection … The compiler accomplishes a parallel method
+invocation by generating code so that each thread calls the method for
+all its local elements.  At the end of each parallel method invocation,
+the threads are synchronized by a global barrier."
+
+:func:`parallel_invoke` is that compiler-generated shape as a library
+call: apply a method to every local element, charge its cost, barrier.
+Methods may be plain functions (local computation on the element) or
+generators (which may perform remote reads through the thread context —
+how a stencil method fetches its neighbours).
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Any, Callable, Generator, Optional
+
+from repro.pcxx.collection import Collection, Index
+from repro.pcxx.runtime import ThreadCtx
+
+#: method(ctx, coll, index, element, *args) -> new element value | None
+ElementMethod = Callable[..., Any]
+
+
+def parallel_invoke(
+    ctx: ThreadCtx,
+    coll: Collection,
+    method: ElementMethod,
+    *args: Any,
+    flops_per_element: float = 0.0,
+    barrier: bool = True,
+) -> Generator[Any, Any, int]:
+    """Invoke ``method`` on every element of ``coll`` owned by this thread.
+
+    ``method(ctx, coll, index, element, *args)`` is called per local
+    element; if it is a generator function it is driven with ``yield
+    from`` (so it can perform remote reads); its return value, when not
+    None, replaces the element.  ``flops_per_element`` charges the
+    method's computational cost.  The trailing global barrier — the one
+    the pC++ compiler always inserts — can be suppressed with
+    ``barrier=False`` for fused invocations.
+
+    Returns the number of elements processed (0 for idle threads, which
+    still take the barrier).
+    """
+    if flops_per_element < 0:
+        raise ValueError(f"negative flops_per_element {flops_per_element}")
+    local = ctx.local_indices(coll)
+    is_gen = inspect.isgeneratorfunction(method)
+    for index in local:
+        element = coll._load(index)
+        if is_gen:
+            result = yield from method(ctx, coll, index, element, *args)
+        else:
+            result = method(ctx, coll, index, element, *args)
+        if result is not None:
+            yield from ctx.put(coll, index, result)
+    if flops_per_element:
+        yield from ctx.compute(len(local) * flops_per_element)
+    if barrier:
+        yield from ctx.barrier()
+    return len(local)
+
+
+def parallel_reduce(
+    ctx: ThreadCtx,
+    coll: Collection,
+    extract: Callable[[Index, Any], float],
+    scratch: Collection,
+    op: Callable[[Any, Any], Any],
+    *,
+    initial: float = 0.0,
+    flops_per_element: float = 1.0,
+) -> Generator[Any, Any, Any]:
+    """Reduce ``extract(index, element)`` over the whole collection.
+
+    Local partials accumulate per thread, then combine through
+    ``scratch`` (a one-element-per-thread collection) with a tree
+    reduction; thread 0 returns the global value, others their partial
+    view (use :func:`repro.pcxx.patterns.all_reduce_via_root` semantics
+    if every thread needs it).
+    """
+    from repro.pcxx.patterns import reduce_tree
+
+    partial = initial
+    local = ctx.local_indices(coll)
+    for index in local:
+        partial = op(partial, extract(index, coll._load(index)))
+    yield from ctx.compute(len(local) * flops_per_element)
+    yield from ctx.put(scratch, ctx.tid, partial)
+    result = yield from reduce_tree(ctx, scratch, op)
+    return result

@@ -1,0 +1,99 @@
+"""Extrapolation-safety (race) checking — §5's applicability conditions.
+
+Extrapolation reuses thread traces under the assumption that "the order
+of a thread's measured events … [is] unaffected by the remote data
+actions of other threads".  That holds when every remote read observes a
+value that is *barrier-separated* from its write: if element X is
+written in the same barrier epoch in which another thread reads it, the
+value read — and potentially the thread's subsequent behaviour — depends
+on execution timing, and the 1-processor measurement no longer predicts
+the n-processor run.
+
+The tracing runtime can watch for exactly that: per barrier epoch it
+records which elements were written and which were read by non-owners,
+and flags the intersection.  Programs following the read-phase /
+barrier / write-phase discipline (or double buffering) produce no
+findings; the paper's §5 "second case" programs do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+Key = Tuple[str, object]  # (collection name, index)
+
+
+@dataclass(frozen=True)
+class RaceFinding:
+    """One same-epoch write/read conflict."""
+
+    epoch: int
+    collection: str
+    index: object
+    writer: int
+    reader: int
+
+    def describe(self) -> str:
+        return (
+            f"epoch {self.epoch}: thread {self.reader} reads "
+            f"{self.collection}[{self.index}] written by thread "
+            f"{self.writer} in the same barrier epoch — the value depends "
+            "on execution timing; extrapolation may not be valid"
+        )
+
+
+class RaceChecker:
+    """Per-epoch read/write intersection bookkeeping.
+
+    The runtime feeds it writes, remote reads, and barrier crossings;
+    epochs are global because barriers are global.  Conflicts are
+    detected in both orders (write seen before the read and vice versa)
+    since the serialised measurement order is not the parallel order.
+    """
+
+    def __init__(self):
+        #: epoch -> {key -> first writer thread}
+        self._writes: Dict[int, Dict[Key, int]] = {}
+        #: epoch -> {key -> set of reader threads}
+        self._reads: Dict[int, Dict[Key, Set[int]]] = {}
+        self.findings: List[RaceFinding] = []
+        self._seen: Set[Tuple[int, Key, int, int]] = set()
+
+    def on_write(self, epoch: int, collection: str, index, thread: int) -> None:
+        key: Key = (collection, index)
+        self._writes.setdefault(epoch, {}).setdefault(key, thread)
+        for reader in self._reads.get(epoch, {}).get(key, ()):
+            if reader != thread:
+                self._add(epoch, key, writer=thread, reader=reader)
+
+    def on_remote_read(self, epoch: int, collection: str, index, thread: int) -> None:
+        key: Key = (collection, index)
+        self._reads.setdefault(epoch, {}).setdefault(key, set()).add(thread)
+        writer = self._writes.get(epoch, {}).get(key)
+        if writer is not None and writer != thread:
+            self._add(epoch, key, writer=writer, reader=thread)
+
+    def _add(self, epoch: int, key: Key, *, writer: int, reader: int) -> None:
+        sig = (epoch, key, writer, reader)
+        if sig in self._seen:
+            return
+        self._seen.add(sig)
+        self.findings.append(
+            RaceFinding(
+                epoch=epoch,
+                collection=key[0],
+                index=key[1],
+                writer=writer,
+                reader=reader,
+            )
+        )
+
+    def report(self) -> str:
+        if not self.findings:
+            return "no same-epoch read/write conflicts: extrapolation-safe"
+        lines = [f"{len(self.findings)} potential extrapolation hazards:"]
+        lines += [f"  - {f.describe()}" for f in self.findings[:20]]
+        if len(self.findings) > 20:
+            lines.append(f"  ... and {len(self.findings) - 20} more")
+        return "\n".join(lines)

@@ -1,0 +1,75 @@
+"""Multi-cluster interconnect: shared memory within, messages between.
+
+The paper (§3.3.2): "representing remote accesses generically by
+messages allows us to easily accommodate a multi-clustered system with
+shared memory access within a cluster and message passing between
+clusters."  :class:`ClusterNetwork` does exactly that — one protocol,
+two cost models selected by whether source and destination processors
+share a cluster.
+"""
+
+from __future__ import annotations
+
+from repro.core.parameters import NetworkParams
+from repro.des import Environment
+from repro.sim.messages import Message
+from repro.sim.network import Network
+
+
+class ClusterNetwork(Network):
+    """A network whose intra-cluster routes use shared-memory costs.
+
+    Parameters
+    ----------
+    env, n, params:
+        As :class:`Network`; ``params`` prices the *inter*-cluster routes.
+    cluster_size:
+        Processors per cluster (processor p is in cluster ``p // size``).
+    intra:
+        Cost parameters for intra-cluster (shared-memory) transfers —
+        typically near-zero start-up and memcpy-rate per-byte times.
+        Topology/contention settings are taken from ``params``; the
+        analytical contention term only applies to inter-cluster traffic
+        (shared-memory transfers contend on the bus, approximated by
+        their own per-byte rate).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        n: int,
+        params: NetworkParams,
+        *,
+        cluster_size: int,
+        intra: NetworkParams | None = None,
+    ):
+        super().__init__(env, n, params)
+        if cluster_size < 1:
+            raise ValueError(f"cluster_size must be >= 1, got {cluster_size}")
+        self.cluster_size = cluster_size
+        self.intra = intra or NetworkParams(
+            comm_startup_time=2.0,
+            byte_transfer_time=0.005,  # 200 MB/s through shared memory
+            topology=params.topology,
+            hop_time=0.0,
+            contention=False,
+        )
+
+    def cluster_of(self, pid: int) -> int:
+        """Cluster index of processor ``pid``."""
+        return pid // self.cluster_size
+
+    def same_cluster(self, src: int, dst: int) -> bool:
+        return self.cluster_of(src) == self.cluster_of(dst)
+
+    def startup_time(self, src: int, dst: int) -> float:
+        if self.same_cluster(src, dst):
+            return self.intra.comm_startup_time
+        return self.params.comm_startup_time
+
+    def wire_time(self, msg: Message) -> float:
+        if self.same_cluster(msg.src, msg.dst):
+            p = self.intra
+            payload = msg.nbytes + p.header_nbytes
+            return payload * p.byte_transfer_time + p.hop_time
+        return super().wire_time(msg)

@@ -1,0 +1,68 @@
+"""Simulation messages.
+
+The paper models every inter-processor interaction — remote element
+requests, replies, and (when ``BarrierByMsgs`` is set) barrier arrivals
+and releases — as messages, "the natural representation for the remote
+access protocol in the simulation" (§3.3.2).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+
+class MsgKind(enum.Enum):
+    #: Remote element request: ``nbytes`` is the reply payload size.
+    REQUEST = "request"
+    #: Remote element reply carrying the data.
+    REPLY = "reply"
+    #: Remote element write (carries the data; acknowledged).
+    WRITE = "write"
+    #: Write acknowledgement.
+    WRITE_ACK = "write_ack"
+    #: Barrier arrival notification (slave -> master, or tree child -> parent).
+    BARRIER_ARRIVE = "barrier_arrive"
+    #: Barrier release notification (master -> slave / parent -> child).
+    BARRIER_RELEASE = "barrier_release"
+
+
+@dataclass
+class Message:
+    """One message on the simulated interconnect.
+
+    Attributes
+    ----------
+    kind:
+        Message type.
+    src, dst:
+        Source and destination processor ids.
+    nbytes:
+        Payload size on the wire (headers are added by the network model).
+    msg_id:
+        Correlates requests with replies (and writes with acks).
+    barrier_id:
+        Barrier episode for BARRIER_* messages.
+    reply_nbytes:
+        For REQUEST: how large the reply payload will be.
+    inject_time, deliver_time:
+        Filled by the network model (simulation bookkeeping/statistics).
+    """
+
+    kind: MsgKind
+    src: int
+    dst: int
+    nbytes: int = 0
+    msg_id: int = -1
+    barrier_id: int = -1
+    reply_nbytes: int = 0
+    inject_time: float = -1.0
+    deliver_time: float = -1.0
+
+    def __repr__(self) -> str:
+        extra = f" b={self.barrier_id}" if self.barrier_id >= 0 else ""
+        return (
+            f"<Msg {self.kind.value} {self.src}->{self.dst} "
+            f"{self.nbytes}B id={self.msg_id}{extra}>"
+        )

@@ -1,0 +1,180 @@
+"""The remote data access / interconnect model (§3.3.2).
+
+Message cost structure:
+
+* the *sender* is busy for ``msg_build_time`` (processor model) plus
+  ``CommStartupTime`` (charged by the caller — see
+  :meth:`repro.sim.processor.SimProcessor._send`);
+* the message then travels for::
+
+      wire = (nbytes + header) * ByteTransferTime * contention_multiplier
+             + hops(src, dst) * hop_time
+
+  and is appended to the destination's receive queue (whose serial
+  draining *is* the receive-queue contention the paper simulates
+  directly).
+
+The contention multiplier is the paper's analytical contention model:
+"analytical expressions of remote access delay involving the contention
+factors calculated from the simulation state".  We use::
+
+      1 + contention_factor * others_in_flight / bisection_width
+
+where ``others_in_flight`` is the number of messages already in transit
+at injection time and ``bisection_width`` comes from the topology.  A bus
+(bisection 1) therefore degrades steeply under load while a fat tree
+(bisection n/2) barely notices — the qualitative behaviour the model
+needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, List
+
+from repro.core.parameters import NetworkParams
+from repro.des import Environment
+from repro.sim.messages import Message, MsgKind
+from repro.sim.topology import Topology, make_topology
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.processor import SimProcessor
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate interconnect statistics for one simulation."""
+
+    messages: int = 0
+    bytes: int = 0
+    total_wire_time: float = 0.0
+    total_contention_delay: float = 0.0
+    max_in_flight: int = 0
+    by_kind: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def mean_wire_time(self) -> float:
+        return self.total_wire_time / self.messages if self.messages else 0.0
+
+
+class Network:
+    """Delivers messages between processors with modelled delays.
+
+    ``placement`` maps logical processor ids (which the traces and
+    simulator use) to *physical* positions in the topology — the
+    "processor mapping" extrapolation axis of §2.  Hop counts use
+    physical positions; everything else stays logical.  Identity by
+    default.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        n: int,
+        params: NetworkParams,
+        *,
+        placement: List[int] | None = None,
+        record_messages: bool = False,
+    ):
+        self.env = env
+        self.n = n
+        self.params = params
+        self.topology: Topology = make_topology(params.topology, n)
+        if placement is None:
+            placement = list(range(n))
+        if sorted(placement) != list(range(n)):
+            raise ValueError(
+                f"placement must be a permutation of 0..{n - 1}, got {placement}"
+            )
+        self.placement = list(placement)
+        self._in_flight = 0
+        self.stats = NetworkStats()
+        #: optional message log for network-level debugging: tuples of
+        #: (inject_time, deliver_time, kind, src, dst, nbytes)
+        self.record_messages = record_messages
+        self.message_log: List[tuple] = []
+        #: delivery targets, filled by the simulator once processors exist
+        self._inboxes: List[Callable[[Message], None]] = []
+
+    def attach(self, inboxes: List[Callable[[Message], None]]) -> None:
+        """Register one delivery callback per processor."""
+        if len(inboxes) != self.n:
+            raise ValueError(f"{len(inboxes)} inboxes for {self.n} processors")
+        self._inboxes = inboxes
+
+    # -- cost model ------------------------------------------------------------
+
+    def startup_time(self, src: int, dst: int) -> float:
+        """Sender-side start-up cost for a ``src -> dst`` message.
+
+        Uniform here; the clustered network prices intra-cluster routes
+        differently.
+        """
+        return self.params.comm_startup_time
+
+    def contention_multiplier(self) -> float:
+        """Current analytical contention multiplier (state-dependent)."""
+        if not self.params.contention:
+            return 1.0
+        others = self._in_flight  # messages already in transit
+        return 1.0 + self.params.contention_factor * others / self.topology.bisection
+
+    def wire_time(self, msg: Message) -> float:
+        """Transit time for ``msg`` injected *now* (excludes startup)."""
+        p = self.params
+        payload = msg.nbytes + p.header_nbytes
+        base = payload * p.byte_transfer_time
+        hops = self.topology.hops(
+            self.placement[msg.src], self.placement[msg.dst]
+        )
+        mult = self.contention_multiplier()
+        extra = base * (mult - 1.0)
+        self.stats.total_contention_delay += extra
+        return base * mult + hops * p.hop_time
+
+    # -- delivery ----------------------------------------------------------------
+
+    def send(self, msg: Message) -> float:
+        """Inject ``msg``; returns its transit time.
+
+        The message is delivered to the destination inbox after the
+        transit delay.  The *sender-side* startup cost is charged by the
+        sending processor before calling send (it is busy time, not
+        transit time).
+        """
+        if not self._inboxes:
+            raise RuntimeError("network not attached to processors yet")
+        if msg.src == msg.dst:
+            raise ValueError(f"message to self: {msg!r}")
+        msg.inject_time = self.env.now
+        transit = self.wire_time(msg)
+        msg.deliver_time = self.env.now + transit
+
+        self._in_flight += 1
+        self.stats.messages += 1
+        self.stats.bytes += msg.nbytes
+        self.stats.total_wire_time += transit
+        self.stats.max_in_flight = max(self.stats.max_in_flight, self._in_flight)
+        self.stats.by_kind[msg.kind.value] = (
+            self.stats.by_kind.get(msg.kind.value, 0) + 1
+        )
+        if self.record_messages:
+            self.message_log.append(
+                (
+                    msg.inject_time,
+                    msg.deliver_time,
+                    msg.kind.value,
+                    msg.src,
+                    msg.dst,
+                    msg.nbytes,
+                )
+            )
+
+        deliver = self.env.timeout(transit, msg)
+        deliver.callbacks.append(self._deliver)
+        return transit
+
+    def _deliver(self, ev) -> None:
+        msg: Message = ev.value
+        self._in_flight -= 1
+        self._inboxes[msg.dst](msg)

@@ -1,0 +1,294 @@
+"""The processor model (§3.3.1).
+
+Each simulated processor replays one translated thread trace:
+
+* COMPUTE actions take their measured duration scaled by ``MipsRatio``;
+  what happens when a message arrives mid-compute is the remote-request
+  *service policy* — NO_INTERRUPT (queue it), INTERRUPT (preempt, pay
+  ``interrupt_overhead``, service, resume), or POLL (drain the queue every
+  ``poll_interval``, paying ``poll_overhead`` per check);
+* REMOTE_READ actions run the request/reply protocol against the owner
+  and block until the reply returns — servicing other processors'
+  requests while blocked;
+* BARRIER actions run the configured barrier protocol
+  (:class:`repro.sim.barrier.BarrierCoordinator`), also servicing
+  requests while waiting.
+
+After its replay finishes, a processor keeps servicing incoming requests
+forever (the pC++ runtime never stops serving remote accesses), so
+threads that finish early still answer the stragglers.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Generator, List
+
+from repro.core.parameters import RemoteServicePolicy, SimulationParameters
+from repro.des import AnyOf, Environment, Event, Store
+from repro.sim.actions import Action, ActionKind
+from repro.sim.messages import Message, MsgKind
+from repro.sim.result import ProcessorStats
+from repro.trace.events import EventKind, TraceEvent
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.barrier import BarrierCoordinator
+    from repro.sim.network import Network
+
+
+class SimProcessor:
+    """One simulated processor replaying one thread's actions."""
+
+    def __init__(
+        self,
+        env: Environment,
+        pid: int,
+        params: SimulationParameters,
+        network: "Network",
+        coordinator: "BarrierCoordinator",
+        actions: List[Action],
+        msg_ids,
+    ):
+        self.env = env
+        self.pid = pid
+        self.params = params
+        self.pp = params.processor
+        self.np = params.network
+        self.network = network
+        self.coordinator = coordinator
+        self.actions = actions
+        self._msg_ids = msg_ids
+
+        self.inbox: Store = Store(env)
+        self.pending_replies: Dict[int, Event] = {}
+        self.stats = ProcessorStats(pid=pid)
+        self.out_events: List[TraceEvent] = []
+        #: fires when the replay reaches THREAD_END
+        self.done: Event = Event(env)
+
+    # -- delivery hook for the network --------------------------------------------
+
+    def deliver(self, msg: Message) -> None:
+        self.inbox.put(msg)
+
+    # -- bookkeeping ----------------------------------------------------------
+
+    def _record(self, kind: EventKind, **kw) -> None:
+        self.out_events.append(TraceEvent(self.env.now, self.pid, kind, **kw))
+
+    def _busy(self, duration: float, category: str) -> Generator:
+        """Spend ``duration`` busy, attributed to ``category``."""
+        if duration > 0:
+            yield self.env.timeout(duration)
+            self.stats.add(category, duration)
+
+    # -- the replay driver ----------------------------------------------------
+
+    def run(self) -> Generator:
+        """Replay all actions, then serve requests forever."""
+        self._record(EventKind.THREAD_BEGIN)
+        for action in self.actions:
+            if action.kind is ActionKind.COMPUTE:
+                yield from self._compute(action.duration)
+            elif action.kind is ActionKind.REMOTE_READ:
+                yield from self._remote_access(action, write=False)
+            elif action.kind is ActionKind.REMOTE_WRITE:
+                yield from self._remote_access(action, write=True)
+            elif action.kind is ActionKind.BARRIER:
+                self._record(EventKind.BARRIER_ENTER, barrier_id=action.barrier_id)
+                t0, busy0 = self.env.now, self.stats.busy_total
+                yield from self.coordinator.participate(self, action.barrier_id)
+                self.stats.barrier_wait += (self.env.now - t0) - (
+                    self.stats.busy_total - busy0
+                )
+                self._record(EventKind.BARRIER_EXIT, barrier_id=action.barrier_id)
+            elif action.kind is ActionKind.MARK:
+                self._record(EventKind.MARK, tag=action.label)
+            elif action.kind is ActionKind.END:
+                break
+            else:  # pragma: no cover - exhaustive
+                raise AssertionError(f"unhandled action {action}")
+        self._record(EventKind.THREAD_END)
+        self.stats.end_time = self.env.now
+        self.done.succeed(self.env.now)
+        # Keep serving remote requests for threads that are still running.
+        while True:
+            msg = yield self.inbox.get()
+            yield from self._dispatch(msg)
+
+    # -- compute under the three service policies -----------------------------------
+
+    def _compute(self, duration: float) -> Generator:
+        scaled = duration * self.pp.mips_ratio
+        policy = self.pp.policy
+        if policy is RemoteServicePolicy.NO_INTERRUPT:
+            yield from self._busy(scaled, "compute")
+        elif policy is RemoteServicePolicy.INTERRUPT:
+            yield from self._compute_interrupt(scaled)
+        elif policy is RemoteServicePolicy.POLL:
+            yield from self._compute_poll(scaled)
+        else:  # pragma: no cover - exhaustive
+            raise AssertionError(policy)
+
+    #: Compute remainders below this are float residue, not real work
+    #: (1e-9 us = 1 femtosecond; far below any model parameter).
+    _EPS = 1e-9
+
+    def _compute_interrupt(self, scaled: float) -> Generator:
+        remaining = scaled
+        while remaining > self._EPS:
+            # Anything already queued interrupts immediately.
+            if self.inbox.items:
+                msg = yield self.inbox.get()
+                yield from self._busy(self.pp.interrupt_overhead, "interrupt_overhead")
+                self.stats.interrupts += 1
+                yield from self._dispatch(msg)
+                continue
+            start = self.env.now
+            finish = self.env.timeout(remaining)
+            get_ev = self.inbox.get()
+            yield AnyOf(self.env, [finish, get_ev])
+            remaining -= self.env.now - start
+            self.stats.add("compute", self.env.now - start)
+            if get_ev.triggered:
+                msg = get_ev.value
+                yield from self._busy(self.pp.interrupt_overhead, "interrupt_overhead")
+                self.stats.interrupts += 1
+                yield from self._dispatch(msg)
+            else:
+                self.inbox.cancel(get_ev)
+
+    def _compute_poll(self, scaled: float) -> Generator:
+        remaining = scaled
+        while remaining > self._EPS:
+            chunk = min(self.pp.poll_interval, remaining)
+            yield from self._busy(chunk, "compute")
+            remaining -= chunk
+            yield from self._busy(self.pp.poll_overhead, "poll_overhead")
+            self.stats.polls += 1
+            while self.inbox.items:
+                msg = yield self.inbox.get()
+                yield from self._dispatch(msg)
+
+    # -- remote access protocol ---------------------------------------------------
+
+    def _remote_access(self, action: Action, write: bool) -> Generator:
+        owner = action.owner
+        if owner == self.pid:
+            raise ValueError(
+                f"processor {self.pid}: remote access to itself in the trace"
+            )
+        kind = EventKind.REMOTE_WRITE if write else EventKind.REMOTE_READ
+        self._record(kind, owner=owner, nbytes=action.nbytes, collection=action.label)
+        mid = next(self._msg_ids)
+        reply_ev = Event(self.env)
+        self.pending_replies[mid] = reply_ev
+        if write:
+            # The write carries the data out; the ack is small.
+            msg = Message(
+                MsgKind.WRITE,
+                src=self.pid,
+                dst=owner,
+                nbytes=action.nbytes,
+                msg_id=mid,
+                reply_nbytes=0,
+            )
+        else:
+            # The request is small; the reply carries the data back.
+            msg = Message(
+                MsgKind.REQUEST,
+                src=self.pid,
+                dst=owner,
+                nbytes=self.np.request_nbytes,
+                msg_id=mid,
+                reply_nbytes=action.nbytes,
+            )
+        yield from self._send(msg, "comm_overhead")
+        t0, busy0 = self.env.now, self.stats.busy_total
+        yield from self._await_serving(reply_ev)
+        self.stats.comm_wait += (self.env.now - t0) - (self.stats.busy_total - busy0)
+        self.stats.remote_accesses += 1
+
+    def _send(self, msg: Message, category: str) -> Generator:
+        """Build and inject a message (sender-side busy costs)."""
+        cost = self.pp.msg_build_time + self.network.startup_time(
+            msg.src, msg.dst
+        )
+        yield from self._busy(cost, category)
+        self.network.send(msg)
+        self.stats.messages_sent += 1
+
+    def _send_raw(self, msg: Message) -> None:
+        """Inject a message with no sender-side cost.
+
+        Barrier synchronisation messages use this: their processor-side
+        costs are the barrier model's own parameters (EntryTime,
+        CheckTime, ModelTime, ExitTime — Table 1), and BarrierByMsgs only
+        adds the wire transfer time.  Charging the remote-access
+        CommStartupTime per barrier message would make a 32-processor
+        linear barrier cost milliseconds, contradicting the paper's
+        observation that 650 barriers were "insignificant" for Grid.
+        """
+        self.network.send(msg)
+        self.stats.messages_sent += 1
+
+    # -- message handling ------------------------------------------------------------
+
+    def _dispatch(self, msg: Message) -> Generator:
+        """Handle one received message (runs in this processor's context)."""
+        self.stats.messages_received += 1
+        if msg.kind is MsgKind.REQUEST:
+            yield from self._busy(self.pp.request_service_time, "service")
+            self.stats.requests_served += 1
+            yield from self._send(
+                Message(
+                    MsgKind.REPLY,
+                    src=self.pid,
+                    dst=msg.src,
+                    nbytes=msg.reply_nbytes,
+                    msg_id=msg.msg_id,
+                ),
+                "service",
+            )
+        elif msg.kind is MsgKind.WRITE:
+            yield from self._busy(self.pp.request_service_time, "service")
+            self.stats.requests_served += 1
+            yield from self._send(
+                Message(
+                    MsgKind.WRITE_ACK,
+                    src=self.pid,
+                    dst=msg.src,
+                    nbytes=0,
+                    msg_id=msg.msg_id,
+                ),
+                "service",
+            )
+        elif msg.kind in (MsgKind.REPLY, MsgKind.WRITE_ACK):
+            try:
+                ev = self.pending_replies.pop(msg.msg_id)
+            except KeyError:
+                raise RuntimeError(
+                    f"processor {self.pid}: unexpected {msg!r} "
+                    "(no pending request with that id)"
+                ) from None
+            ev.succeed(msg)
+        elif msg.kind is MsgKind.BARRIER_ARRIVE:
+            yield from self.coordinator.on_arrive(self, msg)
+        elif msg.kind is MsgKind.BARRIER_RELEASE:
+            yield from self.coordinator.on_release(self, msg)
+        else:  # pragma: no cover - exhaustive
+            raise AssertionError(f"unhandled message kind {msg.kind}")
+
+    def _await_serving(self, target: Event) -> Generator:
+        """Wait for ``target`` while servicing any messages that arrive.
+
+        This is the "process messages while waiting" behaviour the paper
+        requires of every wait state (reply waits, barrier waits).
+        """
+        while not target.triggered:
+            get_ev = self.inbox.get()
+            yield AnyOf(self.env, [target, get_ev])
+            if get_ev.triggered:
+                yield from self._dispatch(get_ev.value)
+            else:
+                self.inbox.cancel(get_ev)
+        return target.value

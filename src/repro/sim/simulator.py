@@ -1,0 +1,131 @@
+"""The trace-driven extrapolation simulator: wiring and run loop."""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional
+
+from repro.core.parameters import SimulationParameters
+from repro.core.translation import TranslatedProgram
+from repro.des import Environment
+from repro.sim.actions import actions_from_thread_trace
+from repro.sim.barrier import BarrierCoordinator
+from repro.sim.network import Network
+from repro.sim.processor import SimProcessor
+from repro.sim.result import SimulationResult
+from repro.trace.trace import ThreadTrace
+
+
+class Simulator:
+    """Replays a translated program under target-environment parameters.
+
+    Usage::
+
+        sim = Simulator(translated, params)
+        result = sim.run()
+    """
+
+    def __init__(
+        self,
+        translated: TranslatedProgram,
+        params: SimulationParameters,
+        *,
+        max_events: int = 50_000_000,
+        network_factory=None,
+        placement=None,
+    ):
+        """``network_factory(env, n, network_params) -> Network`` lets
+        callers substitute a different interconnect model (e.g.
+        :class:`repro.sim.cluster.ClusterNetwork`) — the component
+        substitutability §3.3 advertises.  ``placement`` maps logical
+        processors to physical topology positions (the §2 "processor
+        mapping" axis); ignored when a custom factory is given.
+        """
+        if translated.n_threads < 1:
+            raise ValueError("translated program has no threads")
+        self.translated = translated
+        self.params = params
+        self.max_events = max_events
+        n = translated.n_threads
+
+        self.env = Environment()
+        if network_factory is not None:
+            self.network = network_factory(self.env, n, params.network)
+            if placement is not None:
+                raise ValueError(
+                    "pass placement through your network_factory instead"
+                )
+        else:
+            self.network = Network(
+                self.env, n, params.network, placement=placement
+            )
+        self.coordinator = BarrierCoordinator(self.env, n, params.barrier)
+        msg_ids = itertools.count()
+        self.processors: List[SimProcessor] = [
+            SimProcessor(
+                self.env,
+                pid,
+                params,
+                self.network,
+                self.coordinator,
+                actions_from_thread_trace(tt),
+                msg_ids,
+            )
+            for pid, tt in enumerate(translated.threads)
+        ]
+        self.network.attach([p.deliver for p in self.processors])
+        self._ran = False
+
+    def run(self) -> SimulationResult:
+        """Run the simulation to completion and collect the result."""
+        if self._ran:
+            raise RuntimeError("simulator already ran; create a new one")
+        self._ran = True
+        env = self.env
+        for p in self.processors:
+            env.process(p.run(), name=f"proc{p.pid}")
+        all_done = env.all_of([p.done for p in self.processors])
+        while not all_done.triggered:
+            if env.processed_event_count > self.max_events:
+                raise RuntimeError(
+                    f"simulation exceeded {self.max_events} events "
+                    "(runaway or max_events set too low)"
+                )
+            if env.peek() == float("inf"):
+                stuck = [p.pid for p in self.processors if not p.done.triggered]
+                raise RuntimeError(
+                    f"simulation deadlocked; processors {stuck} never finished"
+                )
+            env.step()
+        # Drain in-flight messages (late replies/releases already en route;
+        # finished processors keep serving).
+        env.run(None)
+
+        threads = [
+            ThreadTrace(p.pid, p.out_events) for p in self.processors
+        ]
+        return SimulationResult(
+            meta=self.translated.meta,
+            params=self.params,
+            execution_time=max(p.stats.end_time for p in self.processors),
+            processors=[p.stats for p in self.processors],
+            threads=threads,
+            network=self.network.stats,
+            barrier_count=len(self.coordinator.history),
+        )
+
+
+def simulate(
+    translated: TranslatedProgram,
+    params: SimulationParameters,
+    *,
+    max_events: Optional[int] = None,
+    placement=None,
+) -> SimulationResult:
+    """One-call convenience wrapper around :class:`Simulator`."""
+    kwargs = {}
+    if max_events is not None:
+        kwargs["max_events"] = max_events
+    if placement is not None:
+        kwargs["placement"] = placement
+    return Simulator(translated, params, **kwargs).run()

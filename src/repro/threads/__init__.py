@@ -1,0 +1,27 @@
+"""Non-preemptive cooperative threads on a single virtual processor.
+
+This is the analog of the AWESIME threads package the paper uses for the
+n-thread, 1-processor measurement run: all threads share one processor
+and one global clock, and a thread runs *uninterrupted* until it reaches a
+scheduling point (barrier entry/exit in the pC++ runtime).  That
+run-to-barrier property is exactly what the trace translation algorithm
+relies on (§3.2).
+"""
+
+from repro.threads.scheduler import (
+    Block,
+    DeadlockError,
+    Scheduler,
+    ThreadState,
+    VirtualThread,
+    YieldProcessor,
+)
+
+__all__ = [
+    "Block",
+    "DeadlockError",
+    "Scheduler",
+    "ThreadState",
+    "VirtualThread",
+    "YieldProcessor",
+]

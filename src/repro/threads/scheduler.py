@@ -1,0 +1,175 @@
+"""Cooperative scheduler with a global virtual clock.
+
+Threads are generators that yield scheduling directives:
+
+* :class:`YieldProcessor` — put me at the back of the ready queue;
+* :class:`Block` — deschedule me until someone calls
+  :meth:`Scheduler.unblock`.
+
+The scheduler is strictly non-preemptive: between directives a thread
+owns the processor, and the only way time passes is the running thread
+calling :meth:`Scheduler.advance`.  This mirrors the paper's measurement
+setup where thread switches happen only at barrier entry and exit.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Generator, List, Optional
+
+
+class YieldProcessor:
+    """Directive: reschedule me behind the other ready threads."""
+
+    __slots__ = ()
+
+
+class Block:
+    """Directive: deschedule me until :meth:`Scheduler.unblock` is called."""
+
+    __slots__ = ()
+
+
+class ThreadState(enum.Enum):
+    READY = "ready"
+    RUNNING = "running"
+    BLOCKED = "blocked"
+    FINISHED = "finished"
+
+
+class DeadlockError(RuntimeError):
+    """All live threads are blocked and nothing can unblock them."""
+
+
+class VirtualThread:
+    """One cooperative thread: a generator plus scheduling state."""
+
+    def __init__(self, tid: int, body: Generator[Any, Any, Any]):
+        if not hasattr(body, "send"):
+            raise TypeError(f"thread body must be a generator, got {body!r}")
+        self.tid = tid
+        self.body = body
+        self.state = ThreadState.READY
+        self.result: Any = None
+
+    def __repr__(self) -> str:
+        return f"<VirtualThread {self.tid} {self.state.value}>"
+
+
+class Scheduler:
+    """Round-robin non-preemptive scheduler over a shared virtual clock.
+
+    Parameters
+    ----------
+    start_time:
+        Initial virtual clock value (microseconds).
+    switch_overhead:
+        Virtual time charged at every thread switch — models the threads
+        package's context-switch cost.  The paper notes the translation
+        algorithm can compensate for this overhead; keeping it explicit
+        here lets tests exercise that compensation.
+    """
+
+    def __init__(self, start_time: float = 0.0, switch_overhead: float = 0.0):
+        if switch_overhead < 0:
+            raise ValueError(f"negative switch overhead {switch_overhead}")
+        self.clock = float(start_time)
+        self.switch_overhead = float(switch_overhead)
+        self.threads: List[VirtualThread] = []
+        self._ready: Deque[VirtualThread] = deque()
+        self._current: Optional[VirtualThread] = None
+        self.switch_count = 0
+
+    # -- setup ------------------------------------------------------------
+
+    def spawn(self, body: Generator[Any, Any, Any]) -> VirtualThread:
+        """Register a new thread; tids are assigned in spawn order."""
+        vt = VirtualThread(len(self.threads), body)
+        self.threads.append(vt)
+        self._ready.append(vt)
+        return vt
+
+    # -- services used by the running thread ---------------------------------
+
+    @property
+    def current(self) -> VirtualThread:
+        """The thread currently holding the processor."""
+        if self._current is None:
+            raise RuntimeError("no thread is running")
+        return self._current
+
+    def advance(self, dt: float) -> None:
+        """Advance the global clock by ``dt`` (the running thread computes)."""
+        if dt < 0:
+            raise ValueError(f"cannot advance clock by {dt}")
+        self.clock += dt
+
+    def unblock(self, tid: int) -> None:
+        """Move a blocked thread back to the ready queue."""
+        vt = self.threads[tid]
+        if vt.state is not ThreadState.BLOCKED:
+            raise RuntimeError(f"thread {tid} is {vt.state.value}, not blocked")
+        vt.state = ThreadState.READY
+        self._ready.append(vt)
+
+    def unblock_all(self, tids: List[int]) -> None:
+        """Unblock several threads, preserving the given order."""
+        for tid in tids:
+            self.unblock(tid)
+
+    # -- run loop ----------------------------------------------------------
+
+    def run(self) -> None:
+        """Run until every thread finishes.
+
+        Raises
+        ------
+        DeadlockError
+            If live threads remain but none is ready.
+        """
+        while True:
+            if not self._ready:
+                live = [t for t in self.threads if t.state is not ThreadState.FINISHED]
+                if not live:
+                    return
+                raise DeadlockError(
+                    "all live threads are blocked: "
+                    + ", ".join(repr(t) for t in live)
+                )
+            vt = self._ready.popleft()
+            if vt.state is not ThreadState.READY:  # pragma: no cover - defensive
+                raise RuntimeError(f"{vt!r} in ready queue but not READY")
+            self._run_thread(vt)
+
+    def _run_thread(self, vt: VirtualThread) -> None:
+        """Give the processor to ``vt`` until its next directive."""
+        if self._current is not vt:
+            self.switch_count += 1
+            self.clock += self.switch_overhead
+        vt.state = ThreadState.RUNNING
+        self._current = vt
+        try:
+            directive = vt.body.send(None)
+        except StopIteration as stop:
+            vt.state = ThreadState.FINISHED
+            vt.result = stop.value
+            self._current = None
+            return
+        finally:
+            if self._current is vt and vt.state is ThreadState.RUNNING:
+                pass  # state updated below based on the directive
+        if isinstance(directive, Block):
+            # The runtime (e.g. the barrier) may already have re-unblocked
+            # this thread from within its own code path; Block always means
+            # "someone else will wake me".
+            vt.state = ThreadState.BLOCKED
+        elif isinstance(directive, YieldProcessor):
+            vt.state = ThreadState.READY
+            self._ready.append(vt)
+        else:
+            raise TypeError(
+                f"thread {vt.tid} yielded {directive!r}; expected a "
+                "scheduling directive (Block or YieldProcessor)"
+            )
+        self._current = None

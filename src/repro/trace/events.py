@@ -1,0 +1,123 @@
+"""Trace event kinds and records.
+
+The paper's instrumentation records three interaction types — barrier
+entry, barrier exit, and remote element access — because those are the
+only points where pC++ threads interact.  We add thread begin/end
+delimiters (so per-thread lifetimes are explicit), remote *writes* (the
+paper's §5 "trivial extension"), and user phase markers (for richer
+metrics; ignored by the simulator's timing models).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping
+
+
+class EventKind(enum.IntEnum):
+    """High-level trace event types."""
+
+    #: First event of every thread.
+    THREAD_BEGIN = 0
+    #: Last event of every thread.
+    THREAD_END = 1
+    #: Thread arrives at a global barrier.
+    BARRIER_ENTER = 2
+    #: Thread leaves a global barrier.
+    BARRIER_EXIT = 3
+    #: Thread reads an element it does not own.
+    REMOTE_READ = 4
+    #: Thread writes an element it does not own (§5 extension).
+    REMOTE_WRITE = 5
+    #: User phase marker; carries a label, has no timing-model effect.
+    MARK = 6
+
+
+#: Kinds that participate in barrier synchronisation semantics.
+BARRIER_KINDS = frozenset({EventKind.BARRIER_ENTER, EventKind.BARRIER_EXIT})
+
+#: Kinds that generate remote-access message traffic.
+REMOTE_KINDS = frozenset({EventKind.REMOTE_READ, EventKind.REMOTE_WRITE})
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """One high-level event.
+
+    Attributes
+    ----------
+    time:
+        Timestamp in microseconds (virtual time of the measured run, or
+        translated/extrapolated time downstream).
+    thread:
+        Id of the thread that generated the event.
+    kind:
+        Event type.
+    barrier_id:
+        Sequence number of the barrier episode (BARRIER_* only, else -1).
+    owner:
+        Owning thread of the accessed element (REMOTE_* only, else -1).
+    nbytes:
+        Payload size of the remote transfer in bytes (REMOTE_* only).
+    collection:
+        Name of the accessed collection (REMOTE_* only, informational).
+    tag:
+        Label for MARK events.
+    """
+
+    time: float
+    thread: int
+    kind: EventKind
+    barrier_id: int = -1
+    owner: int = -1
+    nbytes: int = 0
+    collection: str = ""
+    tag: str = ""
+
+    def shifted(self, new_time: float) -> "TraceEvent":
+        """Copy of this event at a different timestamp."""
+        return replace(self, time=new_time)
+
+    @property
+    def is_barrier(self) -> bool:
+        return self.kind in BARRIER_KINDS
+
+    @property
+    def is_remote(self) -> bool:
+        return self.kind in REMOTE_KINDS
+
+    @property
+    def is_sync(self) -> bool:
+        """Synchronisation events get special timestamp treatment in
+        translation (barrier exits snap to the last entry)."""
+        return self.kind in BARRIER_KINDS
+
+    def to_dict(self) -> Mapping[str, Any]:
+        """Compact dict for JSONL serialisation (defaults elided)."""
+        d: dict[str, Any] = {"t": self.time, "th": self.thread, "k": int(self.kind)}
+        if self.barrier_id != -1:
+            d["b"] = self.barrier_id
+        if self.owner != -1:
+            d["o"] = self.owner
+        if self.nbytes:
+            d["n"] = self.nbytes
+        if self.collection:
+            d["c"] = self.collection
+        if self.tag:
+            d["g"] = self.tag
+        return d
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "TraceEvent":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            time=float(d["t"]),
+            thread=int(d["th"]),
+            kind=EventKind(int(d["k"])),
+            barrier_id=int(d.get("b", -1)),
+            owner=int(d.get("o", -1)),
+            nbytes=int(d.get("n", 0)),
+            collection=str(d.get("c", "")),
+            tag=str(d.get("g", "")),
+        )

@@ -1,0 +1,104 @@
+"""Trace statistics.
+
+Section 4.1 of the paper uses "trace statistics" to reason about
+bottlenecks (e.g. noticing Grid has only 650 barriers, or that remote
+transfers were recorded at the whole-element size).  This module computes
+those statistics from a merged or translated trace.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.trace.events import EventKind, TraceEvent
+from repro.trace.trace import ThreadTrace, Trace
+
+
+@dataclass
+class TraceStats:
+    """Summary statistics of a trace.
+
+    All times in microseconds.
+    """
+
+    n_threads: int = 0
+    n_events: int = 0
+    n_barriers: int = 0
+    n_remote_reads: int = 0
+    n_remote_writes: int = 0
+    remote_bytes_total: int = 0
+    remote_bytes_min: int = 0
+    remote_bytes_max: int = 0
+    duration: float = 0.0
+    compute_time_per_thread: List[float] = field(default_factory=list)
+    remote_reads_per_thread: List[int] = field(default_factory=list)
+    remote_by_collection: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_compute_time(self) -> float:
+        return sum(self.compute_time_per_thread)
+
+    @property
+    def mean_remote_bytes(self) -> float:
+        n = self.n_remote_reads + self.n_remote_writes
+        return self.remote_bytes_total / n if n else 0.0
+
+    def summary(self) -> str:
+        """One-paragraph human-readable summary."""
+        return (
+            f"{self.n_threads} threads, {self.n_events} events, "
+            f"{self.n_barriers} barriers, "
+            f"{self.n_remote_reads} remote reads / {self.n_remote_writes} writes "
+            f"({self.remote_bytes_total} bytes, "
+            f"min {self.remote_bytes_min} / max {self.remote_bytes_max}), "
+            f"span {self.duration:.1f} us, "
+            f"compute {self.total_compute_time:.1f} us"
+        )
+
+
+def compute_stats(trace: Trace) -> TraceStats:
+    """Compute :class:`TraceStats` for a merged trace."""
+    s = TraceStats(n_threads=trace.meta.n_threads, n_events=len(trace.events))
+    if not trace.events:
+        return s
+    s.duration = trace.duration
+    s.n_barriers = trace.barrier_count()
+
+    sizes: List[int] = []
+    by_coll: Counter = Counter()
+    reads_per_thread = [0] * trace.meta.n_threads
+    for ev in trace.events:
+        if ev.kind == EventKind.REMOTE_READ:
+            s.n_remote_reads += 1
+            sizes.append(ev.nbytes)
+            by_coll[ev.collection] += 1
+            reads_per_thread[ev.thread] += 1
+        elif ev.kind == EventKind.REMOTE_WRITE:
+            s.n_remote_writes += 1
+            sizes.append(ev.nbytes)
+            by_coll[ev.collection] += 1
+    s.remote_bytes_total = sum(sizes)
+    s.remote_bytes_min = min(sizes) if sizes else 0
+    s.remote_bytes_max = max(sizes) if sizes else 0
+    s.remote_by_collection = dict(by_coll)
+    s.remote_reads_per_thread = reads_per_thread
+
+    # Per-thread compute time: sum of inter-event gaps excluding barrier wait.
+    s.compute_time_per_thread = [
+        sum(tt.compute_deltas()) for tt in trace.split_by_thread()
+    ]
+    return s
+
+
+def compute_stats_per_thread(traces: Sequence[ThreadTrace]) -> TraceStats:
+    """Compute stats for a set of per-thread (translated) traces."""
+    merged_events: List[TraceEvent] = []
+    for tt in traces:
+        merged_events.extend(tt.events)
+    merged_events.sort(key=lambda e: (e.time, e.thread))
+    from repro.trace.trace import TraceMeta  # local import to avoid cycle noise
+
+    t = Trace(TraceMeta(n_threads=len(traces)), merged_events)
+    return compute_stats(t)

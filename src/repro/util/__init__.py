@@ -1,0 +1,33 @@
+"""Shared utilities: units, deterministic RNG, ASCII tables and plots.
+
+These helpers are deliberately dependency-light; everything in the rest of
+the package that needs unit conversion, formatted reporting, or seeded
+randomness goes through this module so behaviour stays consistent.
+"""
+
+from repro.util.units import (
+    MICROSECONDS_PER_SECOND,
+    bytes_per_us_to_mbytes_per_s,
+    mbytes_per_s_to_us_per_byte,
+    mflops_to_us_per_flop,
+    us_per_byte_to_mbytes_per_s,
+    us_to_ms,
+    us_to_s,
+)
+from repro.util.rng import make_rng, spawn_rngs
+from repro.util.tables import format_table
+from repro.util.asciiplot import ascii_series_plot
+
+__all__ = [
+    "MICROSECONDS_PER_SECOND",
+    "bytes_per_us_to_mbytes_per_s",
+    "mbytes_per_s_to_us_per_byte",
+    "mflops_to_us_per_flop",
+    "us_per_byte_to_mbytes_per_s",
+    "us_to_ms",
+    "us_to_s",
+    "make_rng",
+    "spawn_rngs",
+    "format_table",
+    "ascii_series_plot",
+]

@@ -1,0 +1,77 @@
+"""Minimal ASCII line plots for experiment figures.
+
+The paper's evaluation is mostly figures (speedup and execution-time
+curves).  The harness regenerates each figure's series numerically and
+also renders a rough terminal plot so the *shape* (who wins, where curves
+cross, where they level off) is visible without matplotlib, which is not
+available offline.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+_MARKS = "ox+*#@%&"
+
+
+def ascii_series_plot(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    *,
+    width: int = 64,
+    height: int = 18,
+    title: str | None = None,
+    xlabel: str = "x",
+    ylabel: str = "y",
+    logx: bool = False,
+) -> str:
+    """Render named (x, y) series onto a character grid.
+
+    Each series gets a distinct mark; a legend maps marks back to names.
+    Points that collide on the grid keep the mark of the first series
+    plotted (series order is the caller's priority order).
+    """
+    if not series:
+        raise ValueError("no series to plot")
+    pts = [(x, y) for s in series.values() for (x, y) in s]
+    if not pts:
+        raise ValueError("all series are empty")
+
+    def tx(x: float) -> float:
+        if logx:
+            if x <= 0:
+                raise ValueError("logx plot requires positive x values")
+            return math.log2(x)
+        return x
+
+    xs = [tx(x) for x, _ in pts]
+    ys = [y for _, y in pts]
+    xmin, xmax = min(xs), max(xs)
+    ymin, ymax = min(ys), max(ys)
+    xspan = (xmax - xmin) or 1.0
+    yspan = (ymax - ymin) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for si, (name, data) in enumerate(series.items()):
+        mark = _MARKS[si % len(_MARKS)]
+        for x, y in data:
+            col = int(round((tx(x) - xmin) / xspan * (width - 1)))
+            row = int(round((y - ymin) / yspan * (height - 1)))
+            r, c = height - 1 - row, col
+            if grid[r][c] == " ":
+                grid[r][c] = mark
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{ymax:10.3g} +" + "-" * width + "+")
+    for r in range(height):
+        lines.append(" " * 11 + "|" + "".join(grid[r]) + "|")
+    lines.append(f"{ymin:10.3g} +" + "-" * width + "+")
+    lines.append(
+        " " * 12 + f"{xlabel}: {min(x for x, _ in pts):g} .. "
+        f"{max(x for x, _ in pts):g}   ({ylabel})"
+    )
+    for si, name in enumerate(series):
+        lines.append(f"    {_MARKS[si % len(_MARKS)]} = {name}")
+    return "\n".join(lines)

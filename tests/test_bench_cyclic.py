@@ -1,0 +1,77 @@
+"""Cyclic benchmark (thread-level parallel cyclic reduction)."""
+
+import numpy as np
+import pytest
+
+from repro.bench.cyclic import (
+    CyclicConfig,
+    make_program,
+    reference_solution,
+    _reduced_system,
+)
+from repro.core.pipeline import measure
+from repro.trace.stats import compute_stats
+from repro.trace.validate import validate_trace
+
+CFG = CyclicConfig(system_size=1 << 10)
+
+
+@pytest.mark.parametrize("n", [1, 2, 4, 8, 16])
+def test_solves_correctly(n):
+    # PCR solution vs direct solve is asserted inside every thread.
+    trace = measure(make_program(CFG)(n), n, name="cyclic")
+    validate_trace(trace)
+
+
+def test_rejects_non_power_of_two():
+    with pytest.raises(ValueError, match="power of two"):
+        make_program(CFG)(6)
+
+
+def test_reduced_system_is_diagonally_dominant():
+    eq = _reduced_system(CFG, 16)
+    a, b, c, _ = eq.T
+    assert np.all(np.abs(b) > np.abs(a) + np.abs(c))
+
+
+def test_reference_matches_numpy():
+    n = 8
+    x = reference_solution(CFG, n)
+    eq = _reduced_system(CFG, n)
+    a, b, c, d = eq.T
+    # Residual check of the dense reference itself.
+    res = b * x
+    res[1:] += a[1:] * x[:-1]
+    res[:-1] += c[:-1] * x[1:]
+    assert np.allclose(res, d)
+
+
+def test_pcr_step_and_barrier_counts():
+    n = 8
+    trace = measure(make_program(CFG)(n), n, name="cyclic")
+    # One barrier after elimination, one per PCR step, one at the end.
+    assert trace.barrier_count() == 1 + 3 + 1
+    st = compute_stats(trace)
+    # Each step: <=2 remote reads per thread (boundary threads fewer).
+    assert 0 < st.n_remote_reads <= 2 * n * 3
+
+
+def test_block_shares_sum_to_system_size():
+    cfg = CyclicConfig(system_size=1000, imbalance=0.4)
+    for n in (1, 2, 8, 32):
+        shares = cfg.block_shares(n)
+        assert shares.sum() == pytest.approx(1000)
+        assert np.all(shares > 0)
+
+
+def test_zero_imbalance_is_even():
+    cfg = CyclicConfig(system_size=1024, imbalance=0.0)
+    shares = cfg.block_shares(4)
+    assert np.allclose(shares, 256.0)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        CyclicConfig(system_size=0)
+    with pytest.raises(ValueError):
+        CyclicConfig(imbalance=1.5)

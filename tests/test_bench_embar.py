@@ -1,0 +1,65 @@
+"""Embar benchmark."""
+
+import numpy as np
+import pytest
+
+from repro.bench.embar import EmbarConfig, make_program, reference_tallies
+from repro.core.pipeline import measure
+from repro.trace.stats import compute_stats
+from repro.trace.validate import validate_trace
+
+CFG = EmbarConfig(total_pairs=1 << 10, chunks=16)
+
+
+@pytest.mark.parametrize("n", [1, 2, 4, 8])
+def test_verifies_at_any_thread_count(n):
+    # Internal verification compares the reduced tallies against the
+    # serial reference; a trace in hand means it passed.
+    trace = measure(make_program(CFG)(n), n, name="embar")
+    validate_trace(trace)
+
+
+def test_tallies_independent_of_thread_count():
+    ref = reference_tallies(CFG)
+    assert ref[: CFG.bins].sum() > 0  # some gaussians landed
+    # Chunks are seeded independently of n, so the reference IS the
+    # result at every thread count (asserted inside the program).
+
+
+def test_communication_is_only_the_reduction():
+    n = 8
+    trace = measure(make_program(CFG)(n), n, name="embar")
+    st = compute_stats(trace)
+    # Tree reduction: at most n-1 combining reads plus the local gets.
+    assert st.n_remote_reads <= 2 * n
+    assert st.n_barriers <= 2 * (np.log2(n) + 1)
+
+
+def test_compute_scales_down_with_threads():
+    t1 = measure(make_program(CFG)(1), 1, name="embar")
+    t8 = measure(make_program(CFG)(8), 8, name="embar")
+    s1, s8 = compute_stats(t1), compute_stats(t8)
+    assert max(s8.compute_time_per_thread) < s1.compute_time_per_thread[0] / 4
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        EmbarConfig(total_pairs=0)
+    with pytest.raises(ValueError):
+        EmbarConfig(chunks=0)
+    with pytest.raises(ValueError):
+        EmbarConfig(bins=0)
+
+
+def test_verification_catches_corruption():
+    cfg = EmbarConfig(total_pairs=1 << 8, chunks=8)
+    import repro.bench.embar as embar_mod
+
+    maker = make_program(cfg)
+    orig = embar_mod.reference_tallies
+    embar_mod.reference_tallies = lambda c: orig(c) + 1.0
+    try:
+        with pytest.raises(AssertionError, match="disagree"):
+            measure(maker(2), 2, name="embar")
+    finally:
+        embar_mod.reference_tallies = orig

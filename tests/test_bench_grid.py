@@ -1,0 +1,82 @@
+"""Grid benchmark (2-D Jacobi on distributed patches)."""
+
+import pytest
+
+from repro.bench.grid import PAPER_ELEMENT_NBYTES, GridConfig, make_program
+from repro.bench.stencil import FLAG_NBYTES
+from repro.core.pipeline import measure
+from repro.trace.stats import compute_stats
+from repro.trace.validate import validate_trace
+
+CFG = GridConfig(patch_rows=4, patch_cols=4, m=4, iterations=3, residual_every=2)
+
+
+@pytest.mark.parametrize("n", [1, 2, 4, 8, 16, 32])
+def test_matches_serial_jacobi(n):
+    # Thread 0 asserts the assembled grid equals the serial reference.
+    trace = measure(make_program(CFG)(n), n, name="grid")
+    validate_trace(trace)
+
+
+def test_actual_transfer_sizes_are_flag_and_boundary():
+    """The §4.1 trace statistic: actual sizes are 2 and m*8 bytes."""
+    trace = measure(make_program(CFG)(4), 4, name="grid", size_mode="actual")
+    st = compute_stats(trace)
+    assert st.remote_bytes_min == FLAG_NBYTES == 2
+    assert st.remote_bytes_max == CFG.m * 8
+
+
+def test_compiler_size_mode_records_element_size():
+    cfg = GridConfig(
+        patch_rows=4, patch_cols=4, m=4, iterations=2,
+        element_nbytes=PAPER_ELEMENT_NBYTES,
+    )
+    trace = measure(make_program(cfg)(4), 4, name="grid", size_mode="compiler")
+    st = compute_stats(trace)
+    assert st.remote_bytes_min == PAPER_ELEMENT_NBYTES
+    assert st.remote_bytes_max == PAPER_ELEMENT_NBYTES
+
+
+def test_idle_threads_at_eight_processors():
+    """The 4->8 processor plateau: at n=8 only isqrt(8)^2 = 4 threads own
+    patches, but all 8 participate in every barrier."""
+    trace8 = measure(make_program(CFG)(8), 8, name="grid")
+    st8 = compute_stats(trace8)
+    workers = sum(1 for c in st8.compute_time_per_thread if c > 0)
+    assert workers == 4
+    trace4 = measure(make_program(CFG)(4), 4, name="grid")
+    st4 = compute_stats(trace4)
+    assert st8.total_compute_time == pytest.approx(st4.total_compute_time)
+
+
+def test_barrier_count():
+    n = 4
+    trace = measure(make_program(CFG)(n), n, name="grid")
+    # 1 per sweep + reduction barriers (log2(4)+1 per reduction episode).
+    reductions = CFG.iterations // CFG.residual_every
+    assert trace.barrier_count() == CFG.iterations + reductions * 3
+
+
+def test_no_remote_reads_on_one_thread():
+    trace = measure(make_program(CFG)(1), 1, name="grid")
+    assert compute_stats(trace).n_remote_reads == 0
+
+
+def test_effective_element_nbytes():
+    assert CFG.effective_element_nbytes() == 3 * 4 * 4 * 8 + 32
+    assert GridConfig.paper_like().effective_element_nbytes() == PAPER_ELEMENT_NBYTES
+
+
+def test_paper_like_has_many_barriers():
+    cfg = GridConfig.paper_like()
+    assert cfg.iterations >= 300  # ~650 barriers with reductions
+    assert cfg.m == 16  # 128-byte boundaries
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        GridConfig(patch_rows=0)
+    with pytest.raises(ValueError):
+        GridConfig(m=0)
+    with pytest.raises(ValueError):
+        GridConfig(iterations=0)

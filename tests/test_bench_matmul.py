@@ -1,0 +1,72 @@
+"""Matmul benchmark (the §4.2 validation program)."""
+
+import pytest
+
+from repro.bench.matmul import ALL_DISTRIBUTIONS, MatmulConfig, make_program, _row_segments
+from repro.core.pipeline import measure
+from repro.pcxx.distribution import Distribution2D, Dist
+from repro.trace.stats import compute_stats
+from repro.trace.validate import validate_trace
+
+
+def test_nine_distributions():
+    assert len(ALL_DISTRIBUTIONS) == 9
+    assert ("block", "cyclic") in ALL_DISTRIBUTIONS
+
+
+@pytest.mark.parametrize("rd,cd", ALL_DISTRIBUTIONS)
+def test_product_correct_all_distributions(rd, cd):
+    cfg = MatmulConfig(size=6, row_dist=rd, col_dist=cd)
+    # Thread 0 asserts the product equals A @ B.
+    trace = measure(make_program(cfg)(4), 4, name="matmul")
+    validate_trace(trace)
+
+
+@pytest.mark.parametrize("n", [1, 2, 4, 8, 9, 16])
+def test_thread_counts(n):
+    cfg = MatmulConfig(size=6)
+    validate_trace(measure(make_program(cfg)(n), n, name="matmul"))
+
+
+def test_row_segments():
+    d = Distribution2D(4, 4, 4, Dist.BLOCK, Dist.BLOCK)
+    segs = _row_segments(d, 0)
+    assert [owner for owner, _ in segs] == [0, 1]
+    assert [cols for _, cols in segs] == [[0, 1], [2, 3]]
+    d_cyc = Distribution2D(4, 4, 4, Dist.BLOCK, Dist.CYCLIC)
+    segs_cyc = _row_segments(d_cyc, 0)
+    assert [owner for owner, _ in segs_cyc] == [0, 1, 0, 1]
+
+
+def test_whole_whole_has_no_communication():
+    cfg = MatmulConfig(size=6, row_dist="whole", col_dist="whole")
+    trace = measure(make_program(cfg)(4), 4, name="matmul")
+    st = compute_stats(trace)
+    assert st.n_remote_reads == 0
+    assert st.n_remote_writes == 0
+
+
+def test_no_remote_writes_ever():
+    """The benchmarks keep the deterministic-replay guarantee (§5):
+    reads and barriers only."""
+    for rd, cd in (("block", "block"), ("cyclic", "whole")):
+        cfg = MatmulConfig(size=6, row_dist=rd, col_dist=cd)
+        trace = measure(make_program(cfg)(4), 4, name="matmul")
+        assert compute_stats(trace).n_remote_writes == 0
+
+
+def test_distribution_changes_communication_volume():
+    traces = {}
+    for rd, cd in (("block", "block"), ("whole", "block")):
+        cfg = MatmulConfig(size=8, row_dist=rd, col_dist=cd)
+        traces[(rd, cd)] = compute_stats(
+            measure(make_program(cfg)(4), 4, name="matmul")
+        ).n_remote_reads
+    assert traces[("block", "block")] != traces[("whole", "block")]
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        MatmulConfig(size=1)
+    with pytest.raises(ValueError):
+        MatmulConfig(row_dist="diag")

@@ -1,0 +1,84 @@
+"""Mgrid benchmark (2-D multigrid V-cycles)."""
+
+import numpy as np
+import pytest
+
+from repro.bench.mgrid import (
+    MgridConfig,
+    make_program,
+    prolong_patch,
+    restrict_patch,
+    serial_jacobi,
+    serial_solve,
+    serial_vcycle,
+)
+from repro.bench.stencil import serial_residual
+from repro.core.pipeline import measure
+from repro.trace.validate import validate_trace
+
+CFG = MgridConfig(patch_rows=2, patch_cols=2, m=4, cycles=1)
+
+
+@pytest.mark.parametrize("n", [1, 2, 4, 8])
+def test_matches_serial_vcycle(n):
+    # Thread 0 asserts distributed == serial and residual reduction.
+    trace = measure(make_program(CFG)(n), n, name="mgrid")
+    validate_trace(trace)
+
+
+def test_restriction_prolongation_adjoint_scale():
+    rng = np.random.default_rng(1)
+    fine = rng.random((8, 8))
+    coarse = rng.random((4, 4))
+    # <R f, c> == <f, P c> / 4 for averaging restriction and constant
+    # prolongation (P = 4 R^T).
+    lhs = float(np.sum(restrict_patch(fine) * coarse))
+    rhs = float(np.sum(fine * prolong_patch(coarse))) / 4.0
+    assert lhs == pytest.approx(rhs)
+
+
+def test_restrict_shapes():
+    assert restrict_patch(np.ones((8, 8))).shape == (4, 4)
+    assert prolong_patch(np.ones((4, 4))).shape == (8, 8)
+    assert np.allclose(restrict_patch(np.ones((8, 8))), 1.0)
+
+
+def test_vcycle_beats_jacobi():
+    """Multigrid must reduce the residual far faster than plain Jacobi
+    with the same number of fine-grid sweeps."""
+    rng = np.random.default_rng(7)
+    cfg = MgridConfig(patch_rows=2, patch_cols=2, m=8, cycles=1)
+    shape = (cfg.patch_rows * cfg.m, cfg.patch_cols * cfg.m)
+    f = rng.uniform(-1, 1, shape)
+    u0 = np.zeros(shape)
+    r0 = np.linalg.norm(serial_residual(u0, f))
+    mg = serial_vcycle(u0, f, cfg)
+    r_mg = np.linalg.norm(serial_residual(mg, f))
+    jac = serial_jacobi(u0, f, cfg.nu1 + cfg.nu2, omega=0.8)
+    r_jac = np.linalg.norm(serial_residual(jac, f))
+    assert r_mg < r_jac
+    assert r_mg < 0.7 * r0
+
+
+def test_multiple_cycles_keep_converging():
+    rng = np.random.default_rng(3)
+    cfg1 = MgridConfig(patch_rows=2, patch_cols=2, m=8, cycles=1)
+    cfg3 = MgridConfig(patch_rows=2, patch_cols=2, m=8, cycles=3)
+    shape = (16, 16)
+    f = rng.uniform(-1, 1, shape)
+    u0 = np.zeros(shape)
+    r1 = np.linalg.norm(serial_residual(serial_solve(cfg1, u0, f), f))
+    r3 = np.linalg.norm(serial_residual(serial_solve(cfg3, u0, f), f))
+    assert r3 < r1
+
+
+def test_levels():
+    assert MgridConfig(m=8).levels == 4  # 8, 4, 2, 1
+    assert MgridConfig(m=8).level_m(3) == 1
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        MgridConfig(m=6)  # not a power of two
+    with pytest.raises(ValueError):
+        MgridConfig(cycles=0)

@@ -1,0 +1,62 @@
+"""Poisson benchmark (DST fast solver with transposes)."""
+
+import numpy as np
+import pytest
+
+from repro.bench.poisson import (
+    PoissonConfig,
+    dst1,
+    idst1,
+    make_program,
+    reference_solve,
+    residual_norm,
+)
+from repro.core.pipeline import measure
+from repro.trace.stats import compute_stats
+from repro.trace.validate import validate_trace
+
+CFG = PoissonConfig(size=16)
+
+
+@pytest.mark.parametrize("n", [1, 2, 4, 8])
+def test_matches_serial_fast_solver(n):
+    # Thread 0 asserts agreement with the serial solve and a small
+    # discrete residual.
+    trace = measure(make_program(CFG)(n), n, name="poisson")
+    validate_trace(trace)
+
+
+def test_dst_inverse():
+    rng = np.random.default_rng(2)
+    x = rng.random((5, 8))
+    assert np.allclose(idst1(dst1(x, axis=1), axis=1), x)
+    assert np.allclose(idst1(dst1(x, axis=0), axis=0), x)
+
+
+def test_reference_solves_poisson():
+    rng = np.random.default_rng(4)
+    f = rng.uniform(-1, 1, (CFG.size, CFG.size))
+    u = reference_solve(CFG, f)
+    assert residual_norm(u, f) < 1e-8 * np.linalg.norm(f)
+
+
+def test_all_to_all_transposes():
+    n = 4
+    trace = measure(make_program(CFG)(n), n, name="poisson", size_mode="actual")
+    st = compute_stats(trace)
+    # Two transposes, each reading n-1 remote panels per thread.
+    assert st.n_remote_reads == 2 * n * (n - 1)
+    block = (CFG.size // n) ** 2 * 8
+    assert st.remote_bytes_min == block
+    assert st.remote_bytes_max == block
+
+
+def test_uneven_rows():
+    cfg = PoissonConfig(size=10)
+    trace = measure(make_program(cfg)(4), 4, name="poisson")
+    validate_trace(trace)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        PoissonConfig(size=1)

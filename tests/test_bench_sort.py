@@ -1,0 +1,46 @@
+"""Sort benchmark (block bitonic sort)."""
+
+import pytest
+
+from repro.bench.sort import SortConfig, make_program
+from repro.core.pipeline import measure
+from repro.trace.stats import compute_stats
+from repro.trace.validate import validate_trace
+
+CFG = SortConfig(total_keys=1 << 8)
+
+
+@pytest.mark.parametrize("n", [1, 2, 4, 8, 16])
+def test_sorts_correctly(n):
+    # Each thread asserts its final block equals numpy.sort's slice.
+    trace = measure(make_program(CFG)(n), n, name="sort")
+    validate_trace(trace)
+
+
+def test_rejects_non_power_of_two_threads():
+    with pytest.raises(ValueError, match="power of two"):
+        make_program(CFG)(3)
+
+
+def test_rejects_indivisible_keys():
+    with pytest.raises(ValueError, match="power of two"):
+        SortConfig(total_keys=1000)
+
+
+def test_network_step_count():
+    n = 8
+    trace = measure(make_program(CFG)(n), n, name="sort")
+    st = compute_stats(trace)
+    steps = 3 * 4 // 2  # log n * (log n + 1) / 2 = 6
+    # One whole-block partner read per thread per step.
+    assert st.n_remote_reads == n * steps
+    # Transfers are whole blocks.
+    assert st.remote_bytes_min == (CFG.total_keys // n) * 8
+
+
+def test_communication_volume_is_whole_blocks():
+    n = 4
+    trace = measure(make_program(CFG)(n), n, name="sort")
+    st = compute_stats(trace)
+    block_bytes = (CFG.total_keys // n) * 8
+    assert st.remote_bytes_total == st.n_remote_reads * block_bytes

@@ -1,0 +1,68 @@
+"""Sparse benchmark (distributed CG)."""
+
+import numpy as np
+import pytest
+
+from repro.bench.sparse import SparseConfig, build_matrix, build_rhs, make_program, serial_cg
+from repro.core.pipeline import measure
+from repro.trace.stats import compute_stats
+from repro.trace.validate import validate_trace
+
+CFG = SparseConfig(size=48, density=0.1, iterations=3)
+
+
+@pytest.mark.parametrize("n", [1, 2, 4, 8])
+def test_matches_serial_cg(n):
+    # Thread 0 asserts the residual history and iterate match serial CG.
+    trace = measure(make_program(CFG)(n), n, name="sparse")
+    validate_trace(trace)
+
+
+def test_matrix_is_spd():
+    a = build_matrix(CFG)
+    assert np.allclose(a, a.T)
+    eigvals = np.linalg.eigvalsh(a)
+    assert eigvals.min() > 0
+
+
+def test_cg_converges():
+    a, b = build_matrix(CFG), build_rhs(CFG)
+    x, hist = serial_cg(a, b, 20)
+    assert hist[-1] < 1e-6 * hist[0]
+    assert np.allclose(a @ x, b, atol=1e-5)
+
+
+def test_gather_sizes_are_needed_entries_only():
+    n = 4
+    trace = measure(make_program(CFG)(n), n, name="sparse", size_mode="actual")
+    st = compute_stats(trace)
+    seg_bytes = (CFG.size // n) * 8
+    # Actual gathers carry at most a whole segment (usually less).
+    gathers = [
+        e.nbytes
+        for e in trace.events
+        if e.kind.name == "REMOTE_READ" and e.collection == "p_seg"
+    ]
+    assert gathers and max(gathers) <= seg_bytes
+    assert min(gathers) >= 8
+
+
+def test_irregular_communication():
+    """Different thread pairs exchange different amounts (random pattern)."""
+    n = 4
+    trace = measure(make_program(CFG)(n), n, name="sparse", size_mode="actual")
+    sizes = {
+        (e.thread, e.owner): e.nbytes
+        for e in trace.events
+        if e.kind.name == "REMOTE_READ" and e.collection == "p_seg"
+    }
+    assert len(set(sizes.values())) > 1
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        SparseConfig(size=1)
+    with pytest.raises(ValueError):
+        SparseConfig(density=0.0)
+    with pytest.raises(ValueError):
+        SparseConfig(iterations=0)

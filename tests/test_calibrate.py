@@ -1,0 +1,118 @@
+"""Parameter calibration from reference-machine microbenchmarks."""
+
+import pytest
+
+from repro.bench.micro import (
+    BarrierProbeConfig,
+    ComputeProbeConfig,
+    PingPongConfig,
+    barrier_program,
+    compute_program,
+    pingpong_program,
+)
+from repro.calibrate import (
+    calibrate,
+    measure_barrier,
+    measure_mflops,
+    measure_roundtrip,
+)
+from repro.core.pipeline import measure
+from repro.machine import CM5_SPEC, MachineSpec
+from repro.pcxx.runtime import CM5_MFLOPS, SUN4_MFLOPS
+from repro.trace.validate import validate_trace
+
+
+def test_micro_configs_validate():
+    with pytest.raises(ValueError):
+        PingPongConfig(nbytes=0)
+    with pytest.raises(ValueError):
+        BarrierProbeConfig(episodes=0)
+    with pytest.raises(ValueError):
+        ComputeProbeConfig(flops=0)
+
+
+def test_pingpong_needs_two_threads():
+    with pytest.raises(ValueError):
+        pingpong_program(PingPongConfig())(3)
+
+
+def test_micro_programs_trace_cleanly():
+    """The probes are ordinary programs: they run on the tracing runtime."""
+    validate_trace(
+        measure(pingpong_program(PingPongConfig(rounds=4))(2), 2, name="pp")
+    )
+    validate_trace(
+        measure(barrier_program(BarrierProbeConfig(episodes=3))(4), 4, name="b")
+    )
+    validate_trace(
+        measure(compute_program(ComputeProbeConfig(flops=100))(2), 2, name="c")
+    )
+
+
+def test_roundtrip_scales_with_payload():
+    small = measure_roundtrip(CM5_SPEC, 64, rounds=8)
+    large = measure_roundtrip(CM5_SPEC, 4096, rounds=8)
+    assert large > small > 0
+
+
+def test_barrier_scales_mildly_with_nodes():
+    b2 = measure_barrier(CM5_SPEC, 2, episodes=4)
+    b16 = measure_barrier(CM5_SPEC, 16, episodes=4)
+    # Hardware barrier: per-episode cost is node-count independent.
+    assert b16 == pytest.approx(b2)
+    assert b2 == pytest.approx(
+        CM5_SPEC.barrier_entry_time
+        + CM5_SPEC.barrier_latency
+        + CM5_SPEC.barrier_exit_time
+    )
+
+
+def test_mflops_recovered():
+    assert measure_mflops(CM5_SPEC) == pytest.approx(CM5_MFLOPS, rel=0.02)
+
+
+def test_calibration_recovers_spec_values():
+    params, report = calibrate()
+    # Per-byte rate: the fit isolates it exactly (linear in payload).
+    assert report.byte_transfer_time == pytest.approx(
+        CM5_SPEC.byte_time, rel=0.02
+    )
+    # Start-up absorbs service and headers: same order as the spec's.
+    assert CM5_SPEC.msg_startup * 0.8 < report.comm_startup_time < 3 * CM5_SPEC.msg_startup
+    assert params.processor.mips_ratio == pytest.approx(
+        SUN4_MFLOPS / CM5_MFLOPS, rel=0.02
+    )
+    assert "calibrated" in params.name
+    assert "ByteTransferTime" in report.summary()
+
+
+def test_calibration_bad_sizes():
+    with pytest.raises(ValueError):
+        calibrate(small_nbytes=64, large_nbytes=64)
+
+
+def test_calibrated_prediction_tracks_machine():
+    """The paper's workflow end to end: probe the target, fit, predict,
+    compare against the target's measurement of a real program."""
+    from repro.bench.matmul import MatmulConfig, make_program
+    from repro.core.pipeline import measure_and_extrapolate
+    from repro.machine import run_on_machine
+
+    params, _ = calibrate()
+    maker = make_program(MatmulConfig(size=8))
+    pred = measure_and_extrapolate(maker(8), 8, params, name="matmul").predicted_time
+    meas = run_on_machine(maker(8), 8, name="matmul").execution_time
+    assert 0.5 < pred / meas < 2.0
+
+
+def test_calibrating_a_different_machine():
+    slow = MachineSpec(
+        name="slownet",
+        byte_time=1.0,
+        msg_startup=50.0,
+        barrier_latency=20.0,
+    )
+    params, report = calibrate(slow)
+    assert report.byte_transfer_time == pytest.approx(1.0, rel=0.02)
+    assert report.barrier_time > 20.0
+    assert params.name == "calibrated-slownet"

@@ -1,0 +1,164 @@
+"""The extrap command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "grid" in out and "cm5" in out and "fig4" in out
+
+
+def test_trace_and_predict(tmp_path, capsys):
+    trace_path = tmp_path / "t.jsonl"
+    assert main(["trace", "embar", "-n", "4", "-o", str(trace_path)]) == 0
+    assert trace_path.exists()
+    out = capsys.readouterr().out
+    assert "4 threads" in out
+
+    assert main(["predict", str(trace_path), "--preset", "cm5"]) == 0
+    out = capsys.readouterr().out
+    assert "predicted execution time" in out
+    assert "0.41" in out  # MipsRatio from Table 3
+
+
+def test_predict_with_overrides(tmp_path, capsys):
+    trace_path = tmp_path / "t.bin"
+    main(["trace", "embar", "-n", "2", "-o", str(trace_path)])
+    capsys.readouterr()
+    assert (
+        main(
+            [
+                "predict",
+                str(trace_path),
+                "--preset",
+                "ideal",
+                "--set",
+                "processor.mips_ratio=0.5",
+                "--set",
+                "network.contention=false",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "MipsRatio=0.5" in out
+
+
+def test_bad_override(tmp_path):
+    trace_path = tmp_path / "t.jsonl"
+    main(["trace", "embar", "-n", "2", "-o", str(trace_path)])
+    with pytest.raises(SystemExit):
+        main(["predict", str(trace_path), "--set", "nonsense"])
+
+
+def test_report(tmp_path, capsys):
+    trace_path = tmp_path / "t.jsonl"
+    main(["trace", "embar", "-n", "4", "-o", str(trace_path)])
+    capsys.readouterr()
+    assert main(["report", str(trace_path), "--preset", "cm5"]) == 0
+    out = capsys.readouterr().out
+    assert "extrapolation report" in out
+    assert "timeline" in out
+    assert "bottleneck summary" in out
+
+
+def test_machine(capsys):
+    assert main(["machine", "embar", "-n", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "4-node cm5" in out
+    assert "node 0" in out
+
+
+def test_compare(tmp_path, capsys):
+    trace_path = tmp_path / "t.jsonl"
+    main(["trace", "embar", "-n", "4", "-o", str(trace_path)])
+    capsys.readouterr()
+    assert main(["compare", str(trace_path), "ideal", "cm5", "distributed_memory"]) == 0
+    out = capsys.readouterr().out
+    assert "vs first" in out
+    assert "distributed_memory" in out
+    # The ideal baseline row compares to itself as 1.0.
+    assert "| 1.000" in out
+
+
+def test_calibrate(capsys):
+    assert main(["calibrate"]) == 0
+    out = capsys.readouterr().out
+    assert "ByteTransferTime" in out
+    assert "calibrated-cm5" in out
+
+
+def test_study(capsys):
+    assert (
+        main(
+            [
+                "study",
+                "cyclic",
+                "--preset",
+                "distributed_memory",
+                "-p",
+                "1,2,4",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "speedup" in out
+
+
+def test_study_with_overrides(capsys):
+    assert (
+        main(
+            [
+                "study",
+                "embar",
+                "--preset",
+                "ideal",
+                "-p",
+                "1,2",
+                "--set",
+                "processor.mips_ratio=2.0",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "embar" in out
+
+
+def test_study_filters_pow2(capsys):
+    assert main(["study", "sort", "-p", "1,2,3,4"]) == 0
+    out = capsys.readouterr().out
+    # P=3 is dropped for power-of-two-only benchmarks (check the first
+    # column only; later integer columns may legitimately contain 3).
+    first_cells = [
+        line.split("|")[1].strip()
+        for line in out.splitlines()
+        if line.startswith("|")
+    ]
+    assert "3" not in first_cells
+    assert "4" in first_cells
+
+
+def test_bad_processor_list():
+    with pytest.raises(SystemExit):
+        main(["study", "grid", "-p", "1,two"])
+
+
+def test_experiment_tiny(capsys, monkeypatch):
+    # Shrink fig4 to one benchmark to keep the CLI test fast.
+    from repro.experiments import fig4 as fig4_mod
+    from repro.experiments import runner
+
+    def tiny(quick=True, **kw):
+        return fig4_mod.run(
+            quick=True, benchmarks=("embar",), processor_counts=(1, 2)
+        )
+
+    monkeypatch.setitem(runner.EXPERIMENTS, "fig4", tiny)
+    assert main(["experiment", "fig4"]) == 0
+    out = capsys.readouterr().out
+    assert "embar" in out

@@ -1,0 +1,124 @@
+"""Parameter dataclasses and presets."""
+
+import pytest
+
+from repro.core import presets
+from repro.core.parameters import (
+    BarrierAlgorithm,
+    BarrierParams,
+    NetworkParams,
+    ProcessorParams,
+    RemoteServicePolicy,
+    SimulationParameters,
+)
+
+
+def test_table1_defaults():
+    b = BarrierParams()
+    assert b.entry_time == 5.0
+    assert b.exit_time == 5.0
+    assert b.check_time == 2.0
+    assert b.exit_check_time == 2.0
+    assert b.model_time == 10.0
+    assert b.by_msgs is True
+    assert b.msg_size == 128
+    assert b.algorithm is BarrierAlgorithm.LINEAR
+
+
+def test_policy_parse():
+    assert RemoteServicePolicy.parse("poll") is RemoteServicePolicy.POLL
+    assert (
+        RemoteServicePolicy.parse(RemoteServicePolicy.INTERRUPT)
+        is RemoteServicePolicy.INTERRUPT
+    )
+    with pytest.raises(ValueError):
+        RemoteServicePolicy.parse("psychic")
+
+
+def test_barrier_algorithm_parse():
+    assert BarrierAlgorithm.parse("log") is BarrierAlgorithm.LOG
+    with pytest.raises(ValueError):
+        BarrierAlgorithm.parse("magic")
+
+
+def test_string_fields_coerced_in_constructor():
+    p = ProcessorParams(policy="interrupt")
+    assert p.policy is RemoteServicePolicy.INTERRUPT
+    b = BarrierParams(algorithm="hardware")
+    assert b.algorithm is BarrierAlgorithm.HARDWARE
+
+
+@pytest.mark.parametrize(
+    "cls,kwargs",
+    [
+        (ProcessorParams, {"mips_ratio": 0}),
+        (ProcessorParams, {"poll_interval": 0}),
+        (ProcessorParams, {"interrupt_overhead": -1}),
+        (NetworkParams, {"comm_startup_time": -1}),
+        (NetworkParams, {"byte_transfer_time": -0.1}),
+        (NetworkParams, {"request_nbytes": -2}),
+        (BarrierParams, {"entry_time": -1}),
+        (BarrierParams, {"msg_size": -1}),
+    ],
+)
+def test_validation(cls, kwargs):
+    with pytest.raises(ValueError):
+        cls(**kwargs)
+
+
+def test_with_updates_nested():
+    p = SimulationParameters()
+    p2 = p.with_(
+        processor={"mips_ratio": 0.41},
+        network={"comm_startup_time": 10.0},
+        barrier={"model_time": 5.0},
+        name="custom-cm5",
+    )
+    assert p2.processor.mips_ratio == 0.41
+    assert p2.network.comm_startup_time == 10.0
+    assert p2.barrier.model_time == 5.0
+    assert p2.name == "custom-cm5"
+    # Original untouched (frozen dataclasses).
+    assert p.processor.mips_ratio == 1.0
+
+
+def test_with_unknown_group():
+    with pytest.raises(ValueError):
+        SimulationParameters().with_(engine={"x": 1})
+
+
+def test_describe_mentions_key_params():
+    text = presets.cm5().describe()
+    assert "0.41" in text
+    assert "fattree" in text
+
+
+def test_presets_registry():
+    for name in ("distributed_memory", "shared_memory", "cm5", "ideal"):
+        params = presets.by_name(name)
+        assert params.name == name
+    with pytest.raises(ValueError):
+        presets.by_name("quantum")
+
+
+def test_cm5_preset_matches_table3():
+    p = presets.cm5()
+    assert p.processor.mips_ratio == pytest.approx(0.41)
+    assert p.network.comm_startup_time == 10.0
+    assert p.network.byte_transfer_time == pytest.approx(0.118)
+    assert p.barrier.model_time == 5.0
+
+
+def test_ideal_preset_is_all_zero_cost():
+    p = presets.ideal()
+    assert p.network.comm_startup_time == 0.0
+    assert p.network.byte_transfer_time == 0.0
+    assert p.barrier.entry_time == 0.0
+    assert not p.network.contention
+
+
+def test_distributed_memory_bandwidth():
+    # "modest communication link bandwidth (20 Mbytes/second)"
+    assert presets.distributed_memory().network.byte_transfer_time == pytest.approx(
+        0.05
+    )

@@ -1,0 +1,240 @@
+"""The trace translation algorithm — the paper's §3.2 rules."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.translation import translate
+from repro.pcxx import Collection, TracingRuntime, make_distribution
+from repro.trace.events import EventKind, TraceEvent
+from repro.trace.trace import Trace, TraceMeta
+
+E = EventKind
+
+
+def hand_trace():
+    """Two threads, serialised on one processor:
+
+    thread 0: begin@0,  compute 10, enter b0 @10, exit, compute 5, end
+    thread 1: begin@10 (after switch), compute 20, enter b0 @30, exit,
+              compute 1, end
+    """
+    return Trace(
+        TraceMeta(program="h", n_threads=2),
+        [
+            TraceEvent(0.0, 0, E.THREAD_BEGIN),
+            TraceEvent(10.0, 0, E.BARRIER_ENTER, barrier_id=0),
+            TraceEvent(10.0, 1, E.THREAD_BEGIN),
+            TraceEvent(30.0, 1, E.BARRIER_ENTER, barrier_id=0),
+            TraceEvent(30.0, 1, E.BARRIER_EXIT, barrier_id=0),
+            TraceEvent(31.0, 1, E.THREAD_END),
+            TraceEvent(31.0, 0, E.BARRIER_EXIT, barrier_id=0),
+            TraceEvent(36.0, 0, E.THREAD_END),
+        ],
+    )
+
+
+def test_rebase_to_zero_and_preserve_deltas():
+    tp = translate(hand_trace())
+    t0, t1 = tp.threads
+    assert t0.events[0].time == 0.0
+    assert t1.events[0].time == 0.0
+    # Thread 0 computes 10 then enters the barrier.
+    assert t0.events[1].time == 10.0
+    # Thread 1 computes 20 then enters.
+    assert t1.events[1].time == 20.0
+
+
+def test_barrier_exit_is_last_entry():
+    tp = translate(hand_trace())
+    t0, t1 = tp.threads
+    # Last translated entry is thread 1's at t=20.
+    assert tp.barrier_exit_times[0] == 20.0
+    assert t0.events[2].time == 20.0
+    assert t1.events[2].time == 20.0
+    assert tp.barrier_entry_times[0] == [10.0, 20.0]
+    assert tp.barrier_imbalance(0) == 10.0
+
+
+def test_post_barrier_deltas_preserved():
+    tp = translate(hand_trace())
+    t0, t1 = tp.threads
+    # Thread 0: 5 us of compute after the barrier (31 -> 36 originally).
+    assert t0.events[3].time == 25.0
+    # Thread 1: 1 us after the barrier.
+    assert t1.events[3].time == 21.0
+    assert tp.ideal_execution_time() == 25.0
+
+
+def test_total_compute_time():
+    tp = translate(hand_trace())
+    assert tp.total_compute_time() == pytest.approx(10 + 5 + 20 + 1)
+
+
+def test_overhead_compensation():
+    tp = translate(hand_trace(), event_overhead=1.0)
+    t0 = tp.threads[0]
+    # The 10-us gap shrinks to 9.
+    assert t0.events[1].time == 9.0
+
+
+def test_overhead_clamps_at_zero():
+    tp = translate(hand_trace(), event_overhead=1000.0)
+    for tt in tp.threads:
+        times = [e.time for e in tt.events]
+        assert times == sorted(times)
+        assert all(t >= 0 for t in times)
+
+
+def test_negative_overhead_rejected():
+    with pytest.raises(ValueError):
+        translate(hand_trace(), event_overhead=-1)
+    with pytest.raises(ValueError):
+        translate(hand_trace(), flush_every=-1)
+    with pytest.raises(ValueError):
+        translate(hand_trace(), flush_overhead=-1)
+
+
+def _flushy_program(rt):
+    from repro.pcxx import Collection, make_distribution
+
+    n = rt.n_threads
+    coll = Collection("c", make_distribution(n, n, "block"), element_nbytes=8)
+    for i in range(n):
+        coll.poke(i, i)
+
+    def body(ctx):
+        for _ in range(5):
+            yield from ctx.compute_us(100.0)
+            yield from ctx.get(coll, (ctx.tid + 1) % n, nbytes=8)
+        yield from ctx.barrier()
+
+    return body
+
+
+def test_flush_compensation_exact():
+    """§3.2: translation handles event-buffer flush overhead — the
+    compensated ideal time must equal the unperturbed measurement's,
+    exactly (the merged order pinpoints every flush)."""
+    from repro.core.pipeline import measure
+
+    clean = measure(_flushy_program, 4, name="p")
+    noisy = measure(
+        _flushy_program, 4, name="p", flush_every=7, flush_overhead=50.0
+    )
+    t_clean = translate(clean).ideal_execution_time()
+    t_raw = translate(noisy).ideal_execution_time()
+    t_comp = translate(
+        noisy, flush_every=7, flush_overhead=50.0
+    ).ideal_execution_time()
+    assert t_raw > t_clean  # flushes perturb the raw measurement
+    assert t_comp == pytest.approx(t_clean, abs=1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(2, 6),
+    flush_every=st.integers(1, 40),
+    flush_overhead=st.floats(min_value=0.1, max_value=500.0),
+    barriers=st.integers(1, 4),
+)
+def test_flush_compensation_exact_property(n, flush_every, flush_overhead, barriers):
+    """Property: flush compensation is exact for any flush configuration
+    and program shape — the merged order pinpoints every flush."""
+    from repro.core.pipeline import measure
+    from repro.pcxx import Collection, make_distribution
+
+    def program(rt):
+        coll = Collection("c", make_distribution(n, n, "block"), element_nbytes=8)
+        for i in range(n):
+            coll.poke(i, i)
+
+        def body(ctx):
+            for b in range(barriers):
+                yield from ctx.compute_us(((ctx.tid + b) % 3 + 1) * 50.0)
+                yield from ctx.get(coll, (ctx.tid + 1) % n, nbytes=8)
+                yield from ctx.barrier()
+
+        return body
+
+    clean = measure(program, n, name="p")
+    noisy = measure(
+        program, n, name="p", flush_every=flush_every, flush_overhead=flush_overhead
+    )
+    t_clean = translate(clean).ideal_execution_time()
+    t_comp = translate(
+        noisy, flush_every=flush_every, flush_overhead=flush_overhead
+    ).ideal_execution_time()
+    assert t_comp == pytest.approx(t_clean, abs=1e-6)
+
+
+def test_flush_and_event_overhead_combine():
+    from repro.core.pipeline import measure
+
+    clean = measure(_flushy_program, 4, name="p")
+    noisy = measure(
+        _flushy_program,
+        4,
+        name="p",
+        event_overhead=2.0,
+        flush_every=5,
+        flush_overhead=30.0,
+    )
+    t_comp = translate(
+        noisy, event_overhead=2.0, flush_every=5, flush_overhead=30.0
+    ).ideal_execution_time()
+    t_clean = translate(clean).ideal_execution_time()
+    assert t_comp == pytest.approx(t_clean, abs=1e-9)
+
+
+def test_validation_runs_by_default():
+    bad = Trace(TraceMeta(n_threads=1), [TraceEvent(0.0, 0, E.THREAD_END)])
+    with pytest.raises(Exception):
+        translate(bad)
+
+
+def _measured_trace(n, barriers=3, seed_work=7):
+    rt = TracingRuntime(n, "prop")
+    coll = Collection("c", make_distribution(n, n, "cyclic"), element_nbytes=8)
+    for i in range(n):
+        coll.poke(i, i)
+
+    def body(ctx):
+        for b in range(barriers):
+            work = ((ctx.tid * 31 + b * seed_work) % 11 + 1) * 10
+            yield from ctx.compute_us(work)
+            if n > 1:
+                yield from ctx.get(coll, (ctx.tid + b + 1) % n, nbytes=8)
+            yield from ctx.barrier()
+
+    return rt.run(body)
+
+
+@settings(max_examples=25, deadline=None)
+@given(n=st.integers(1, 9), barriers=st.integers(1, 5), seed=st.integers(0, 50))
+def test_translation_invariants_property(n, barriers, seed):
+    """Properties over real measured traces:
+
+    1. per-thread first event at 0;
+    2. per-thread timestamps non-decreasing;
+    3. non-sync inter-event deltas preserved exactly;
+    4. each barrier exit equals the max translated entry;
+    5. ideal time <= the serialised (measured) span.
+    """
+    trace = _measured_trace(n, barriers, seed)
+    tp = translate(trace)
+    originals = trace.split_by_thread()
+    for orig, trans in zip(originals, tp.threads):
+        assert trans.events[0].time == 0.0
+        times = [e.time for e in trans.events]
+        assert times == sorted(times)
+        for i in range(1, len(orig.events)):
+            if trans.events[i].kind != E.BARRIER_EXIT:
+                orig_gap = orig.events[i].time - orig.events[i - 1].time
+                new_gap = trans.events[i].time - trans.events[i - 1].time
+                # Gap from a barrier-exit boundary changes; others exact.
+                if orig.events[i - 1].kind != E.BARRIER_EXIT:
+                    assert new_gap == pytest.approx(orig_gap)
+    for bid, exit_time in tp.barrier_exit_times.items():
+        assert exit_time == max(tp.barrier_entry_times[bid])
+    assert tp.ideal_execution_time() <= trace.duration + 1e-9

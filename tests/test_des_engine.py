@@ -1,0 +1,140 @@
+"""The DES engine: clock, ordering, run modes."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.des import Environment, StopSimulation
+
+
+def test_clock_starts_at_zero():
+    assert Environment().now == 0.0
+
+
+def test_initial_time():
+    assert Environment(10.0).now == 10.0
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+    log = []
+
+    def proc(env):
+        yield env.timeout(5)
+        log.append(env.now)
+        yield env.timeout(2.5)
+        log.append(env.now)
+
+    env.process(proc(env))
+    env.run(None)
+    assert log == [5.0, 7.5]
+
+
+def test_run_until_time_stops_clock_exactly():
+    env = Environment()
+
+    def proc(env):
+        while True:
+            yield env.timeout(10)
+
+    env.process(proc(env))
+    env.run(until=25.0)
+    assert env.now == 25.0
+
+
+def test_run_until_event_returns_value():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(3)
+        return "answer"
+
+    p = env.process(proc(env))
+    assert env.run(p) == "answer"
+    assert env.now == 3.0
+
+
+def test_run_until_past_time_rejected():
+    env = Environment()
+    env.run(until=5.0)
+    with pytest.raises(ValueError):
+        env.run(until=1.0)
+
+
+def test_run_until_event_deadlock_detected():
+    env = Environment()
+
+    def proc(env):
+        yield env.event()  # never fires
+
+    p = env.process(proc(env))
+    with pytest.raises(RuntimeError, match="deadlock"):
+        env.run(p)
+
+
+def test_negative_delay_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.timeout(-1)
+
+
+def test_step_empty_queue():
+    with pytest.raises(StopSimulation):
+        Environment().step()
+
+
+def test_fifo_order_at_same_time():
+    env = Environment()
+    log = []
+
+    def proc(env, tag):
+        yield env.timeout(10)
+        log.append(tag)
+
+    for tag in "abcd":
+        env.process(proc(env, tag))
+    env.run(None)
+    assert log == list("abcd")
+
+
+def test_peek():
+    env = Environment()
+    assert env.peek() == float("inf")
+    env.timeout(4)
+    assert env.peek() == 4.0
+
+
+def test_processed_event_count():
+    env = Environment()
+    for _ in range(5):
+        env.timeout(1)
+    env.run(None)
+    assert env.processed_event_count == 5
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=40))
+def test_events_fire_in_time_order(delays):
+    """Property: regardless of scheduling order, callbacks observe a
+    non-decreasing clock."""
+    env = Environment()
+    seen = []
+    for d in delays:
+        env.timeout(d).callbacks.append(lambda ev: seen.append(env.now))
+    env.run(None)
+    assert seen == sorted(seen)
+    assert len(seen) == len(delays)
+
+
+def test_process_waits_on_process():
+    env = Environment()
+
+    def inner(env):
+        yield env.timeout(7)
+        return 42
+
+    def outer(env):
+        value = yield env.process(inner(env))
+        return value + 1
+
+    assert env.run(env.process(outer(env))) == 43

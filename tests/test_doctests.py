@@ -1,0 +1,26 @@
+"""Run the doctest examples embedded in module docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.core.parameters
+import repro.metrics.metrics
+import repro.util.tables
+import repro.util.units
+
+MODULES = [
+    repro.util.units,
+    repro.util.tables,
+    repro.metrics.metrics,
+    repro.core.parameters,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    result = doctest.testmod(module, verbose=False)
+    assert result.attempted > 0, (
+        f"{module.__name__}: expected at least one doctest"
+    )
+    assert result.failed == 0

@@ -1,0 +1,118 @@
+"""Experiment harnesses on tiny instances.
+
+These check the harness plumbing and the headline qualitative claims on
+scaled-down problems; the full quick-mode runs live in benchmarks/.
+"""
+
+import pytest
+
+from repro.experiments import fig4, fig5, fig6, fig7, fig8, fig9, tables
+from repro.experiments.base import ExperimentResult
+from repro.experiments.fig9 import ranking_agreement
+from repro.experiments.runner import EXPERIMENTS, run_experiment
+
+SMALL = (1, 2, 4)
+
+
+def test_registry_complete():
+    for name in ("fig4", "fig5", "fig6", "fig7", "fig8", "fig9"):
+        assert name in EXPERIMENTS
+    assert any(name.startswith("ablation") for name in EXPERIMENTS)
+    with pytest.raises(ValueError):
+        run_experiment("fig99")
+
+
+def test_fig4_small():
+    res = fig4.run(quick=True, benchmarks=("embar", "grid"), processor_counts=SMALL)
+    assert set(res.series) == {"embar", "grid"}
+    assert res.series["embar"][1] == 1.0
+    assert res.series["embar"][4] > res.series["embar"][1]
+    text = res.format()
+    assert "fig4" in text and "speedup" in text
+
+
+def test_fig5_small():
+    res = fig5.run(quick=True, processor_counts=SMALL)
+    assert len(res.series) == 5
+    top = max(SMALL)
+    base = res.series["base (compiler sizes)"][top]
+    ideal = res.series["ideal (no comm/sync)"][top]
+    actual = res.series["actual sizes (2/128 B)"][top]
+    # The §4.1 story: ideal fastest; actual sizes dramatically better
+    # than compiler-reported whole elements.
+    assert ideal < actual < base
+    assert any("barriers" in n for n in res.notes)
+
+
+def test_fig6_small():
+    res = fig6.run(quick=True, benchmarks=("embar",), processor_counts=SMALL)
+    t_slow = res.series["embar@x2.0"][1]
+    t_base = res.series["embar@x1.0"][1]
+    t_fast = res.series["embar@x0.5"][1]
+    assert t_slow > t_base > t_fast
+    # At P=1 there is no communication: the scaling is exactly linear.
+    assert t_slow / t_fast == pytest.approx(4.0, rel=0.01)
+
+
+def test_fig7_small():
+    res = fig7.run(quick=True, processor_counts=SMALL)
+    assert len(res.series) == 6
+    assert all(len(s) == len(SMALL) for s in res.series.values())
+    assert any("minimum execution time" in n for n in res.notes)
+
+
+def test_fig8_small():
+    res = fig8.run(quick=True, processor_counts=SMALL)
+    assert "cyclic/interrupt" in res.series
+    assert "grid/no-interrupt" in res.series
+    assert res.notes
+
+
+def test_fig9_tiny():
+    res = fig9.run(
+        quick=True,
+        processor_counts=(4,),
+        distributions=(("block", "block"), ("whole", "whole")),
+    )
+    assert "(block,block) pred" in res.series
+    assert "(block,block) meas" in res.series
+    assert res.notes
+
+
+def test_ranking_agreement():
+    a = {"x": 1.0, "y": 2.0, "z": 3.0}
+    assert ranking_agreement(a, a) == 1.0
+    rev = {"x": 3.0, "y": 2.0, "z": 1.0}
+    assert ranking_agreement(a, rev) == 0.0
+    with pytest.raises(ValueError):
+        ranking_agreement(a, {"x": 1.0})
+
+
+def test_tables():
+    assert tables.table1_matches_paper()
+    assert tables.table3_matches_paper()
+    t1, t2, t3 = tables.table1(), tables.table2(), tables.table3()
+    assert "EntryTime".lower() in t1.lower().replace("_", "")
+    assert "embar" in t2
+    assert "0.118" in t3 and "0.41" in t3
+
+
+def test_experiment_result_formatting():
+    res = ExperimentResult(
+        name="x", title="T", series={"s": {1: 1.0, 2: 2.0}}, notes=["n1"]
+    )
+    out = res.format()
+    assert "T" in out and "n1" in out
+    assert res.xs() == [1, 2]
+
+
+def test_experiment_result_csv():
+    res = ExperimentResult(
+        name="x",
+        title="T",
+        series={"a": {1: 1.5, 2: 2.5}, "b": {2: 9.0}},
+    )
+    lines = res.to_csv().splitlines()
+    assert lines[0] == "x,a,b"
+    assert lines[1] == "1,1.5,"
+    assert lines[2] == "2,2.5,9.0"

@@ -1,0 +1,33 @@
+"""The validation-suite and multithread experiments (tiny instances)."""
+
+from repro.experiments import multithread_study, validation
+from repro.experiments.runner import EXPERIMENTS
+
+
+def test_registered():
+    assert "validation-suite" in EXPERIMENTS
+    assert "ablation-multithread" in EXPERIMENTS
+
+
+def test_validation_suite_tiny():
+    res = validation.run(
+        quick=True, processor_counts=(4,), benchmarks=("cyclic",)
+    )
+    assert "cyclic pred" in res.series
+    assert "cyclic meas" in res.series
+    pred = res.series["cyclic pred"][4]
+    meas = res.series["cyclic meas"][4]
+    # Same regime (the paper's "not excessive" criterion, loosely).
+    assert 0.2 < pred / meas < 5.0
+    assert any("ratio" in n for n in res.notes)
+
+
+def test_multithread_study_tiny():
+    res = multithread_study.run(
+        quick=True, n_threads=8, processor_counts=(1, 2, 4, 8)
+    )
+    blk, cyc = res.series["block"], res.series["cyclic"]
+    assert set(blk) == {1, 2, 4, 8}
+    # m=1 is identical under both schemes (everything is local).
+    assert blk[1] == cyc[1]
+    assert any("local" in n for n in res.notes)

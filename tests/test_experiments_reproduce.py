@@ -1,0 +1,70 @@
+"""The one-shot reproduction artefact writer."""
+
+import pytest
+
+from repro.experiments import reproduce as reproduce_mod
+from repro.experiments.reproduce import reproduce
+
+
+def test_unknown_experiment_rejected(tmp_path):
+    with pytest.raises(ValueError, match="unknown"):
+        reproduce(tmp_path, experiments=["fig99"])
+
+
+def test_writes_reports_and_index(tmp_path, monkeypatch):
+    # Shrink to two cheap experiments.
+    def tiny_ok(quick=True, **kw):
+        from repro.experiments.base import ExperimentResult
+
+        return ExperimentResult(
+            name="tiny", title="T", series={"s": {1: 1.0, 2: 2.0}}
+        )
+
+    def tiny_boom(quick=True, **kw):
+        raise RuntimeError("kaboom")
+
+    monkeypatch.setattr(
+        reproduce_mod, "EXPERIMENTS", {"tiny-ok": tiny_ok, "tiny-boom": tiny_boom}
+    )
+    monkeypatch.setattr(
+        reproduce_mod,
+        "run_experiment",
+        lambda name, quick: reproduce_mod.EXPERIMENTS[name](quick=quick),
+    )
+    index = reproduce(tmp_path / "results")
+    text = index.read_text()
+    assert "| tiny-ok | ok |" in text
+    assert "FAILED (RuntimeError)" in text
+    assert (tmp_path / "results" / "tiny-ok.txt").exists()
+    assert "kaboom" in (tmp_path / "results" / "tiny-boom.txt").read_text()
+    tables = (tmp_path / "results" / "tables.txt").read_text()
+    assert "Barrier Model" in tables and "CM-5" in tables
+
+
+def test_real_small_experiment(tmp_path):
+    index = reproduce(
+        tmp_path / "r", experiments=["ablation-overhead"], quick=True
+    )
+    assert "| ablation-overhead | ok |" in index.read_text()
+    body = (tmp_path / "r" / "ablation-overhead.txt").read_text()
+    assert "compensation" in body
+
+
+def test_cli_reproduce(tmp_path, capsys):
+    from repro.cli import main
+
+    assert (
+        main(
+            [
+                "reproduce",
+                "--out",
+                str(tmp_path / "out"),
+                "--only",
+                "ablation-overhead",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "REPORT.md" in out
+    assert (tmp_path / "out" / "REPORT.md").exists()

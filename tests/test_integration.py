@@ -1,0 +1,83 @@
+"""End-to-end integration: the full ExtraP story on real benchmarks."""
+
+import pytest
+
+from repro import (
+    extrapolate,
+    measure,
+    presets,
+    read_trace,
+    simulate,
+    translate,
+    write_trace,
+)
+from repro.bench.grid import GridConfig
+from repro.bench.grid import make_program as make_grid
+from repro.bench.matmul import MatmulConfig
+from repro.bench.matmul import make_program as make_matmul
+from repro.machine import run_on_machine
+
+
+def test_full_pipeline_through_files(tmp_path):
+    """measure -> trace file -> read -> translate -> simulate -> metrics."""
+    cfg = GridConfig(patch_rows=4, patch_cols=4, m=4, iterations=2)
+    trace = measure(make_grid(cfg)(8), 8, name="grid", size_mode="actual")
+    path = write_trace(trace, tmp_path / "grid.bin")
+    back = read_trace(path)
+    outcome = extrapolate(back, presets.distributed_memory())
+    assert outcome.predicted_time > outcome.ideal_time > 0
+    assert outcome.trace_stats.n_barriers == back.barrier_count()
+
+
+def test_one_measurement_many_whatifs():
+    """The paper's core workflow: a single 1-processor measurement
+    answers a sweep of environment questions."""
+    cfg = GridConfig(patch_rows=4, patch_cols=4, m=4, iterations=2)
+    trace = measure(make_grid(cfg)(8), 8, name="grid", size_mode="actual")
+    tp = translate(trace)
+    times = {}
+    for bw in (0.05, 0.01, 0.005):
+        params = presets.distributed_memory().with_(
+            network={"byte_transfer_time": bw}
+        )
+        times[bw] = simulate(tp, params).execution_time
+    assert times[0.005] <= times[0.01] <= times[0.05]
+
+
+def test_prediction_brackets_reference_machine():
+    """Extrapolated CM-5 predictions should land in the same regime as
+    the reference machine's direct simulation (shape validation); we
+    require agreement within a factor of three, far tighter than the
+    orders of magnitude separating the parameter sets."""
+    cfg = MatmulConfig(size=8)
+    maker = make_matmul(cfg)
+    for n in (4, 16):
+        trace = measure(maker(n), n, name="matmul")
+        predicted = extrapolate(trace, presets.cm5()).predicted_time
+        measured = run_on_machine(maker(n), n, name="matmul").execution_time
+        assert predicted == pytest.approx(measured, rel=2.0)
+
+
+def test_extrapolated_trace_is_structurally_valid():
+    from repro.trace.trace import Trace, TraceMeta
+    from repro.trace.validate import validate_trace
+
+    cfg = GridConfig(patch_rows=2, patch_cols=2, m=4, iterations=2)
+    trace = measure(make_grid(cfg)(4), 4, name="grid")
+    outcome = extrapolate(trace, presets.cm5())
+    merged = [e for tt in outcome.result.threads for e in tt.events]
+    merged.sort(key=lambda e: (e.time, e.thread))
+    validate_trace(Trace(TraceMeta(n_threads=4), merged))
+
+
+def test_scaled_trace_machine_cancels_out():
+    """Measuring on a faster trace machine with a matching MipsRatio
+    must predict the same target time (the processor-model contract)."""
+    cfg = GridConfig(patch_rows=2, patch_cols=2, m=4, iterations=2)
+    maker = make_grid(cfg)
+    slow_trace = measure(maker(4), 4, name="grid", trace_mflops=1.0)
+    fast_trace = measure(maker(4), 4, name="grid", trace_mflops=2.0)
+    base = presets.distributed_memory()
+    t_slow = extrapolate(slow_trace, base.with_(processor={"mips_ratio": 1.0}))
+    t_fast = extrapolate(fast_trace, base.with_(processor={"mips_ratio": 2.0}))
+    assert t_fast.predicted_time == pytest.approx(t_slow.predicted_time)

@@ -1,0 +1,217 @@
+"""The reference target-machine simulator."""
+
+import pytest
+
+from repro.machine import CM5_SPEC, Machine, MachineSpec, run_on_machine
+from repro.pcxx import Collection, make_distribution
+from repro.trace.events import EventKind
+
+
+def simple_factory(n, work=1000.0, read=True):
+    def factory(rt):
+        coll = Collection("c", make_distribution(n, n, "block"), element_nbytes=64)
+        for i in range(n):
+            coll.poke(i, float(i) * 2)
+
+        def body(ctx):
+            yield from ctx.compute(work)
+            if read and n > 1:
+                v = yield from ctx.get(coll, (ctx.tid + 1) % n, nbytes=8)
+                assert v == float((ctx.tid + 1) % n) * 2
+            yield from ctx.barrier()
+
+        return body
+
+    return factory
+
+
+def test_compute_at_node_rate():
+    res = run_on_machine(simple_factory(1, work=2764.5, read=False), 1)
+    # 2764.5 flops at 2.7645 MFLOPS = 1000us, plus barrier costs.
+    assert res.execution_time == pytest.approx(
+        1000.0
+        + CM5_SPEC.barrier_entry_time
+        + CM5_SPEC.barrier_latency
+        + CM5_SPEC.barrier_exit_time
+    )
+
+
+def test_remote_values_are_real():
+    res = run_on_machine(simple_factory(4), 4)  # asserts inside bodies
+    assert res.execution_time > 0
+    assert res.messages == 8  # request+reply per node
+
+
+def test_measured_trace_shape():
+    res = run_on_machine(simple_factory(2), 2)
+    for tt in res.threads:
+        kinds = [e.kind for e in tt.events]
+        assert kinds[0] == EventKind.THREAD_BEGIN
+        assert kinds[-1] == EventKind.THREAD_END
+        assert EventKind.BARRIER_ENTER in kinds
+        times = [e.time for e in tt.events]
+        assert times == sorted(times)
+
+
+def test_barrier_synchronises():
+    def factory(rt):
+        n = rt.n_threads
+        marks = {}
+
+        def body(ctx):
+            yield from ctx.compute_us(100.0 * (ctx.tid + 1))
+            yield from ctx.barrier()
+            marks[ctx.tid] = ctx.now
+
+        factory.marks = marks
+        return body
+
+    res = run_on_machine(factory, 4)
+    marks = factory.marks
+    # Everyone leaves the barrier within exit-time of each other, after
+    # the slowest arrival (400us).
+    assert min(marks.values()) > 400.0
+    assert max(marks.values()) - min(marks.values()) < 1.0
+
+
+def test_remote_write():
+    def factory(rt):
+        n = 2
+        coll = Collection("c", make_distribution(n, n, "block"), element_nbytes=64)
+        coll.poke(0, 0.0)
+        coll.poke(1, 0.0)
+
+        def body(ctx):
+            if ctx.tid == 0:
+                yield from ctx.put(coll, 1, 42.0)
+            yield from ctx.barrier()
+            if ctx.tid == 1:
+                v = yield from ctx.get(coll, 1)
+                assert v == 42.0
+
+        return body
+
+    res = run_on_machine(factory, 2)
+    assert res.nodes[1].requests_served == 1
+
+
+def test_port_contention_serialises_hotspot():
+    """n-1 nodes reading node 0 simultaneously queue on its ports, so the
+    hotspot run takes longer per message than a pairwise pattern."""
+    n = 8
+
+    def hotspot(rt):
+        coll = Collection("c", make_distribution(n, n, "block"), element_nbytes=4096)
+        for i in range(n):
+            coll.poke(i, i)
+
+        def body(ctx):
+            if ctx.tid != 0:
+                yield from ctx.get(coll, 0)  # full 4 KB elements
+            yield from ctx.barrier()
+
+        return body
+
+    def pairwise(rt):
+        coll = Collection("c", make_distribution(n, n, "block"), element_nbytes=4096)
+        for i in range(n):
+            coll.poke(i, i)
+
+        def body(ctx):
+            if ctx.tid % 2 == 1:
+                yield from ctx.get(coll, ctx.tid - 1)
+            yield from ctx.barrier()
+
+        return body
+
+    hot = run_on_machine(hotspot, n)
+    pair = run_on_machine(pairwise, n)
+    assert hot.execution_time > pair.execution_time
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        MachineSpec(node_mflops=0)
+    with pytest.raises(ValueError):
+        MachineSpec(byte_time=-1)
+    with pytest.raises(ValueError):
+        MachineSpec(fat_tree_arity=1)
+
+
+def test_machine_run_twice_rejected():
+    m = Machine(2)
+    m.run(simple_factory(2))
+    with pytest.raises(RuntimeError):
+        m.run(simple_factory(2))
+
+
+def test_paragon_spec_differs_from_cm5():
+    from repro.machine import PARAGON_SPEC
+
+    def comm_heavy(rt):
+        n = rt.n_threads
+        coll = Collection("c", make_distribution(n, n, "block"), element_nbytes=64)
+        for i in range(n):
+            coll.poke(i, i)
+
+        def body(ctx):
+            for _ in range(3):
+                yield from ctx.get(coll, (ctx.tid + 1) % n, nbytes=64)
+                yield from ctx.barrier()
+
+        return body
+
+    cm5 = run_on_machine(comm_heavy, 8, name="x")
+    paragon = run_on_machine(comm_heavy, 8, spec=PARAGON_SPEC, name="x")
+    # Different machines, different times (Paragon's start-up and
+    # software barriers dominate this message-bound pattern).
+    assert paragon.execution_time != cm5.execution_time
+    assert paragon.spec.name == "paragon"
+
+
+def test_mesh_topology_machine_has_distance_effects():
+    from repro.machine import MachineSpec
+
+    mesh = MachineSpec(name="mesh", topology="mesh2d", hop_time=50.0)
+
+    def read_from(owner):
+        def factory(rt):
+            n = rt.n_threads
+            coll = Collection("c", make_distribution(n, n, "block"), element_nbytes=64)
+            for i in range(n):
+                coll.poke(i, i)
+
+            def body(ctx):
+                if ctx.tid == 0:
+                    yield from ctx.get(coll, owner, nbytes=8)
+                yield from ctx.barrier()
+
+            return body
+
+        return factory
+
+    near = run_on_machine(read_from(1), 16, spec=mesh, name="near")
+    far = run_on_machine(read_from(15), 16, spec=mesh, name="far")
+    assert far.execution_time > near.execution_time
+
+
+def test_paragon_calibration():
+    from repro.calibrate import calibrate
+    from repro.machine import PARAGON_SPEC
+
+    params, report = calibrate(PARAGON_SPEC)
+    assert report.byte_transfer_time == pytest.approx(
+        PARAGON_SPEC.byte_time, rel=0.05
+    )
+    assert params.name == "calibrated-paragon"
+
+
+def test_benchmarks_run_on_machine():
+    """The same benchmark programs (with their internal verification)
+    run unmodified on the reference machine."""
+    from repro.bench.grid import GridConfig, make_program
+
+    cfg = GridConfig(patch_rows=2, patch_cols=2, m=4, iterations=2)
+    res = run_on_machine(make_program(cfg)(4), 4, name="grid")
+    assert res.execution_time > 0
+    assert res.meta.program == "grid"

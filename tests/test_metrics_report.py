@@ -1,0 +1,95 @@
+"""The performance-debugging report renderer."""
+
+import pytest
+
+from repro.core import presets
+from repro.core.pipeline import measure_and_extrapolate
+from repro.metrics.report import (
+    bottleneck_summary,
+    breakdown_table,
+    full_report,
+    timeline,
+)
+from repro.pcxx import Collection, make_distribution
+from repro.trace.events import EventKind, TraceEvent
+from repro.trace.trace import ThreadTrace
+
+
+def outcome(n=4):
+    def program(rt):
+        coll = Collection("c", make_distribution(n, n, "block"), element_nbytes=64)
+        for i in range(n):
+            coll.poke(i, i)
+
+        def body(ctx):
+            yield from ctx.compute_us(500.0 * (ctx.tid + 1))
+            if n > 1:
+                yield from ctx.get(coll, (ctx.tid + 1) % n, nbytes=8)
+            yield from ctx.barrier()
+
+        return body
+
+    return measure_and_extrapolate(
+        program, n, presets.distributed_memory(), name="demo"
+    )
+
+
+def test_breakdown_table_structure():
+    out = breakdown_table(outcome().result)
+    lines = out.splitlines()
+    assert "compute" in lines[1]
+    assert len(lines) == 2 + 1 + 4  # title + header + rule + 4 procs
+
+
+def test_timeline_markers():
+    tt = ThreadTrace(
+        0,
+        [
+            TraceEvent(0.0, 0, EventKind.THREAD_BEGIN),
+            TraceEvent(40.0, 0, EventKind.REMOTE_READ, owner=1, nbytes=8),
+            TraceEvent(50.0, 0, EventKind.BARRIER_ENTER, barrier_id=0),
+            TraceEvent(90.0, 0, EventKind.BARRIER_EXIT, barrier_id=0),
+            TraceEvent(100.0, 0, EventKind.THREAD_END),
+        ],
+    )
+    out = timeline([tt], width=20, end_time=100.0)
+    lane = out.splitlines()[1]
+    assert "r" in lane
+    assert "B" in lane
+    assert "=" in lane
+    # Barrier occupies roughly the 50..90% stretch.
+    bar_positions = [i for i, ch in enumerate(lane) if ch == "B"]
+    assert bar_positions and bar_positions[0] > len(lane) * 0.3
+
+
+def test_timeline_empty():
+    assert "(no threads)" in timeline([])
+    assert "(empty timeline)" in timeline([ThreadTrace(0, [])])
+
+
+def test_timeline_tail_dots():
+    short = ThreadTrace(
+        0,
+        [
+            TraceEvent(0.0, 0, EventKind.THREAD_BEGIN),
+            TraceEvent(10.0, 0, EventKind.THREAD_END),
+        ],
+    )
+    out = timeline([short], width=20, end_time=100.0)
+    assert out.splitlines()[1].rstrip("|").endswith(".")
+
+
+def test_bottleneck_summary():
+    out = bottleneck_summary(outcome().result)
+    assert "dominant non-idle cost" in out
+    assert "utilisation" in out
+
+
+def test_full_report_contains_everything():
+    o = outcome()
+    out = full_report(o)
+    assert "extrapolation report" in out
+    assert "predicted time" in out
+    assert "timeline" in out
+    assert "bottleneck summary" in out
+    assert f"{o.predicted_time:.1f}" in out

@@ -1,0 +1,52 @@
+"""Collections: storage, factories, ownership plumbing."""
+
+import pytest
+
+from repro.pcxx import Collection, make_distribution
+
+
+def test_poke_peek():
+    c = Collection("c", make_distribution(4, 2), element_nbytes=8)
+    c.poke(1, "v")
+    assert 1 in c
+    assert c.peek(1) == "v"
+    assert 0 not in c
+
+
+def test_factory_lazy_init():
+    c = Collection(
+        "c", make_distribution(4, 2), element_nbytes=8, element_factory=lambda i: i * 10
+    )
+    assert c.peek(3) == 30
+    c.poke(3, -1)
+    assert c.peek(3) == -1
+
+
+def test_missing_element_without_factory():
+    c = Collection("c", make_distribution(4, 2), element_nbytes=8)
+    with pytest.raises(KeyError, match="no element"):
+        c.peek(0)
+
+
+def test_fill_and_ownership():
+    c = Collection("c", make_distribution((2, 2), 4, ("block", "block")), element_nbytes=8)
+    c.fill({(r, col): r * 2 + col for r in range(2) for col in range(2)})
+    assert c.peek((1, 1)) == 3
+    assert c.owner((0, 0)) == 0
+    assert set(c.local_indices(0)) == {(0, 0)}
+
+
+def test_index_validation_on_poke():
+    c = Collection("c", make_distribution(4, 2), element_nbytes=8)
+    with pytest.raises(IndexError):
+        c.poke(99, 1)
+
+
+def test_bad_element_nbytes():
+    with pytest.raises(ValueError):
+        Collection("c", make_distribution(4, 2), element_nbytes=0)
+
+
+def test_repr():
+    c = Collection("grid", make_distribution(4, 2), element_nbytes=64)
+    assert "grid" in repr(c) and "64" in repr(c)

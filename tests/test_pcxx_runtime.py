@@ -1,0 +1,195 @@
+"""The tracing runtime: event recording, clocks, barrier semantics."""
+
+import pytest
+
+from repro.pcxx import Collection, TracingRuntime, make_distribution
+from repro.trace.events import EventKind
+from repro.trace.validate import validate_trace
+
+E = EventKind
+
+
+def make_coll(n, nbytes=64):
+    c = Collection("c", make_distribution(n, n, "block"), element_nbytes=nbytes)
+    for i in range(n):
+        c.poke(i, float(i))
+    return c
+
+
+def events_of(trace, kind):
+    return [e for e in trace.events if e.kind == kind]
+
+
+def test_compute_advances_at_mflops_rate():
+    rt = TracingRuntime(1, "t", trace_mflops=2.0)
+    coll = make_coll(1)
+
+    def body(ctx):
+        yield from ctx.compute(100)  # 100 flops at 2 MFLOPS = 50 us
+        assert ctx.now == pytest.approx(50.0)
+        yield from ctx.compute_us(10.0)
+        assert ctx.now == pytest.approx(60.0)
+
+    rt.run(body)
+
+
+def test_remote_read_records_owner_and_size():
+    rt = TracingRuntime(2, "t")
+    coll = make_coll(2, nbytes=640)
+
+    def body(ctx):
+        v = yield from ctx.get(coll, 1 - ctx.tid, nbytes=8)
+        assert v == float(1 - ctx.tid)
+        yield from ctx.barrier()
+
+    trace = rt.run(body)
+    reads = events_of(trace, E.REMOTE_READ)
+    assert len(reads) == 2
+    # compiler size mode records the whole element size.
+    assert all(r.nbytes == 640 for r in reads)
+    assert {(r.thread, r.owner) for r in reads} == {(0, 1), (1, 0)}
+
+
+def test_actual_size_mode():
+    rt = TracingRuntime(2, "t", size_mode="actual")
+    coll = make_coll(2, nbytes=640)
+
+    def body(ctx):
+        yield from ctx.get(coll, 1 - ctx.tid, nbytes=8)
+        yield from ctx.get(coll, 1 - ctx.tid)  # no actual size -> element size
+        yield from ctx.barrier()
+
+    trace = rt.run(body)
+    sizes = sorted(r.nbytes for r in events_of(trace, E.REMOTE_READ))
+    assert sizes == [8, 8, 640, 640]
+
+
+def test_local_access_records_nothing():
+    rt = TracingRuntime(2, "t")
+    coll = make_coll(2)
+
+    def body(ctx):
+        yield from ctx.get(coll, ctx.tid)
+        yield from ctx.put(coll, ctx.tid, 99.0)
+        yield from ctx.barrier()
+
+    trace = rt.run(body)
+    assert not events_of(trace, E.REMOTE_READ)
+    assert not events_of(trace, E.REMOTE_WRITE)
+
+
+def test_remote_write_recorded():
+    rt = TracingRuntime(2, "t")
+    coll = make_coll(2)
+
+    def body(ctx):
+        if ctx.tid == 0:
+            yield from ctx.put(coll, 1, -1.0)
+        yield from ctx.barrier()
+
+    trace = rt.run(body)
+    writes = events_of(trace, E.REMOTE_WRITE)
+    assert len(writes) == 1 and writes[0].owner == 1
+    assert coll.peek(1) == -1.0
+
+
+def test_barrier_exit_after_last_entry():
+    rt = TracingRuntime(3, "t")
+
+    def body(ctx):
+        yield from ctx.compute((ctx.tid + 1) * 1.136)  # 1, 2, 3 us
+        yield from ctx.barrier()
+
+    trace = rt.run(body)
+    enters = events_of(trace, E.BARRIER_ENTER)
+    exits = events_of(trace, E.BARRIER_EXIT)
+    assert len(enters) == 3 and len(exits) == 3
+    last_entry = max(e.time for e in enters)
+    assert all(x.time >= last_entry for x in exits)
+
+
+def test_barrier_ids_sequential():
+    rt = TracingRuntime(2, "t")
+
+    def body(ctx):
+        for _ in range(3):
+            yield from ctx.barrier()
+
+    trace = rt.run(body)
+    ids = sorted({e.barrier_id for e in events_of(trace, E.BARRIER_ENTER)})
+    assert ids == [0, 1, 2]
+    validate_trace(trace)
+
+
+def test_event_overhead_charged():
+    rt = TracingRuntime(1, "t", event_overhead=5.0)
+
+    def body(ctx):
+        yield from ctx.mark("a")
+        yield from ctx.mark("b")
+
+    trace = rt.run(body)
+    # THREAD_BEGIN at 0, each record charges 5 afterwards; THREAD_END last.
+    times = [e.time for e in trace.events]
+    assert times == [0.0, 5.0, 10.0, 15.0]
+
+
+def test_distinct_bodies_per_thread():
+    rt = TracingRuntime(2, "t")
+    log = []
+
+    def body_a(ctx):
+        log.append("a")
+        yield from ctx.barrier()
+
+    def body_b(ctx):
+        log.append("b")
+        yield from ctx.barrier()
+
+    rt.run([body_a, body_b])
+    assert sorted(log) == ["a", "b"]
+
+
+def test_run_twice_rejected():
+    rt = TracingRuntime(1, "t")
+
+    def body(ctx):
+        return
+        yield
+
+    rt.run(body)
+    with pytest.raises(RuntimeError):
+        rt.run(body)
+
+
+def test_wrong_body_count_rejected():
+    rt = TracingRuntime(3, "t")
+    with pytest.raises(ValueError):
+        rt.run([lambda ctx: iter(())] * 2)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"n_threads": 0},
+        {"n_threads": 1, "trace_mflops": 0},
+        {"n_threads": 1, "size_mode": "weird"},
+        {"n_threads": 1, "event_overhead": -1},
+    ],
+)
+def test_constructor_validation(kwargs):
+    with pytest.raises(ValueError):
+        TracingRuntime(**{"program": "t", **kwargs})
+
+
+def test_trace_validates_for_many_threads():
+    rt = TracingRuntime(8, "t")
+    coll = make_coll(8)
+
+    def body(ctx):
+        for it in range(2):
+            yield from ctx.compute(50)
+            yield from ctx.get(coll, (ctx.tid + it + 1) % 8, nbytes=8)
+            yield from ctx.barrier()
+
+    validate_trace(rt.run(body))

@@ -1,0 +1,123 @@
+"""Extended property-based tests across subsystems."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import presets
+from repro.core.pipeline import measure
+from repro.core.translation import translate
+from repro.machine import MachineSpec, run_on_machine
+from repro.pcxx import Collection, make_distribution
+from repro.sim.multithread import assign_threads, simulate_multithreaded
+from repro.sim.simulator import simulate
+
+
+def random_program(n, barriers, reads, work_seed):
+    """A deterministic pseudo-random but extrapolatable program."""
+
+    def factory(rt):
+        coll = Collection("c", make_distribution(n, n, "block"), element_nbytes=32)
+        for i in range(n):
+            coll.poke(i, i)
+
+        def body(ctx):
+            for b in range(barriers):
+                w = ((ctx.tid * 37 + b * work_seed) % 13 + 1) * 20.0
+                yield from ctx.compute_us(w)
+                for r in range(reads):
+                    if n > 1:
+                        target = (ctx.tid + r + b + 1) % n
+                        if target != ctx.tid:
+                            yield from ctx.get(coll, target, nbytes=8)
+                yield from ctx.barrier()
+
+        return body
+
+    return factory
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(2, 8),
+    barriers=st.integers(1, 4),
+    reads=st.integers(0, 3),
+    seed=st.integers(0, 100),
+    m=st.integers(1, 8),
+    scheme=st.sampled_from(["block", "cyclic"]),
+)
+def test_multithread_invariants(n, barriers, reads, seed, m, scheme):
+    """For any program and any m <= n:
+
+    * the run terminates with all threads finished;
+    * execution time is at least the longest thread's compute;
+    * total served+local requests equals total issued reads.
+    """
+    if m > n:
+        m = n
+    tp = translate(measure(random_program(n, barriers, reads, seed), n, name="r"))
+    res = simulate_multithreaded(
+        tp, presets.distributed_memory(), m, assignment_scheme=scheme
+    )
+    assert len(res.thread_end_times) == n
+    assert res.execution_time == max(res.thread_end_times)
+    per_thread_compute = [sum(tt.compute_deltas()) for tt in tp.threads]
+    assert res.execution_time >= max(per_thread_compute) - 1e-6
+    issued = sum(
+        1
+        for tt in tp.threads
+        for e in tt.events
+        if e.kind.name in ("REMOTE_READ", "REMOTE_WRITE")
+    )
+    handled = sum(
+        p.requests_served + p.local_requests for p in res.processors
+    )
+    assert handled == issued
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n=st.integers(1, 8),
+    barriers=st.integers(1, 3),
+    seed=st.integers(0, 100),
+)
+def test_single_thread_model_vs_ideal_bound(n, barriers, seed):
+    """Ideal-environment simulation equals translation's ideal time for
+    arbitrary programs (the pipeline's central consistency invariant)."""
+    tp = translate(measure(random_program(n, barriers, 1, seed), n, name="r"))
+    res = simulate(tp, presets.ideal())
+    assert res.execution_time == pytest.approx(tp.ideal_execution_time())
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    byte_time=st.floats(min_value=0.001, max_value=0.5),
+    startup=st.floats(min_value=0.0, max_value=100.0),
+    service=st.floats(min_value=0.0, max_value=20.0),
+)
+def test_machine_time_monotone_in_costs(byte_time, startup, service):
+    """The reference machine's time never decreases when any cost grows."""
+    base = MachineSpec()
+    slower = MachineSpec(
+        byte_time=base.byte_time + byte_time,
+        msg_startup=base.msg_startup + startup,
+        service_time=base.service_time + service,
+    )
+    prog = random_program(4, 2, 2, 7)
+    t_base = run_on_machine(prog, 4, spec=base, name="r").execution_time
+    t_slow = run_on_machine(prog, 4, spec=slower, name="r").execution_time
+    assert t_slow >= t_base - 1e-6
+
+
+@settings(max_examples=40, deadline=None)
+@given(n=st.integers(1, 64), m=st.integers(1, 64), scheme=st.sampled_from(["block", "cyclic"]))
+def test_assignment_is_total_and_balanced(n, m, scheme):
+    if m > n:
+        with pytest.raises(ValueError):
+            assign_threads(n, m, scheme)
+        return
+    a = assign_threads(n, m, scheme)
+    assert len(a) == n
+    assert set(a) <= set(range(m))
+    counts = [a.count(p) for p in range(m)]
+    assert max(counts) - min(counts) <= -(-n // m)  # near-even

@@ -1,0 +1,60 @@
+"""The README and package-docstring examples must actually run."""
+
+
+def test_readme_quickstart():
+    from repro import extrapolate, measure, presets
+    from repro.bench.grid import GridConfig, make_program
+
+    maker = make_program(GridConfig(patch_rows=2, patch_cols=2, m=4, iterations=2))
+    trace = measure(maker(8), 8, name="grid")
+    outcome = extrapolate(trace, presets.cm5())
+    assert outcome.predicted_time >= outcome.ideal_time > 0
+    assert "grid" in outcome.result.summary()
+
+
+def test_package_docstring_example():
+    import repro
+
+    # The module docstring's example, executed.
+    from repro import extrapolate, measure, presets
+    from repro.bench.grid import GridConfig, make_program
+
+    maker = make_program(GridConfig(patch_rows=2, patch_cols=2, m=4, iterations=2))
+    trace = measure(maker(4), 4, name="grid")
+    outcome = extrapolate(trace, presets.cm5())
+    assert outcome.predicted_time > 0
+    assert repro.__version__
+
+
+def test_all_public_names_importable():
+    import repro
+
+    for name in repro.__all__:
+        assert getattr(repro, name, None) is not None, name
+
+
+def test_tutorial_program_shape():
+    """The docs/TUTORIAL.md program runs as written (scaled down)."""
+    from repro import measure
+    from repro.pcxx import Collection, make_distribution
+
+    def my_program(rt):
+        n = rt.n_threads
+        seg = Collection(
+            "seg", make_distribution(n, n, "block"), element_nbytes=1024
+        )
+        for t in range(n):
+            seg.poke(t, [0.0] * 128)
+
+        def body(ctx):
+            for step in range(3):
+                yield from ctx.compute(2000)
+                if n > 1:
+                    yield from ctx.get(seg, (ctx.tid + 1) % n, nbytes=64)
+                yield from ctx.barrier()
+
+        return body
+
+    trace = measure(my_program, 8, name="mine")
+    assert trace.barrier_count() == 3
+    assert trace.race_findings == []

@@ -1,0 +1,85 @@
+"""Trace -> replay action conversion."""
+
+import pytest
+
+from repro.sim.actions import Action, ActionKind, actions_from_thread_trace
+from repro.trace.events import EventKind, TraceEvent
+from repro.trace.trace import ThreadTrace
+
+E = EventKind
+A = ActionKind
+
+
+def test_basic_conversion():
+    tt = ThreadTrace(
+        0,
+        [
+            TraceEvent(0.0, 0, E.THREAD_BEGIN),
+            TraceEvent(10.0, 0, E.REMOTE_READ, owner=1, nbytes=64, collection="c"),
+            TraceEvent(15.0, 0, E.BARRIER_ENTER, barrier_id=0),
+            TraceEvent(40.0, 0, E.BARRIER_EXIT, barrier_id=0),
+            TraceEvent(41.0, 0, E.MARK, tag="m"),
+            TraceEvent(41.0, 0, E.THREAD_END),
+        ],
+    )
+    actions = actions_from_thread_trace(tt)
+    kinds = [a.kind for a in actions]
+    assert kinds == [
+        A.COMPUTE,       # 0 -> 10
+        A.REMOTE_READ,
+        A.COMPUTE,       # 10 -> 15
+        A.BARRIER,
+        A.COMPUTE,       # 40 -> 41 (post-exit compute)
+        A.MARK,
+        A.END,
+    ]
+    assert actions[0].duration == 10.0
+    assert actions[1].owner == 1 and actions[1].nbytes == 64
+    assert actions[3].barrier_id == 0
+    assert actions[4].duration == 1.0
+    assert actions[5].label == "m"
+
+
+def test_barrier_wait_gap_dropped():
+    """The enter -> exit gap is synchronisation wait, not compute."""
+    tt = ThreadTrace(
+        0,
+        [
+            TraceEvent(0.0, 0, E.THREAD_BEGIN),
+            TraceEvent(5.0, 0, E.BARRIER_ENTER, barrier_id=0),
+            TraceEvent(100.0, 0, E.BARRIER_EXIT, barrier_id=0),
+            TraceEvent(100.0, 0, E.THREAD_END),
+        ],
+    )
+    actions = actions_from_thread_trace(tt)
+    computes = [a for a in actions if a.kind is A.COMPUTE]
+    assert len(computes) == 1 and computes[0].duration == 5.0
+
+
+def test_zero_gaps_skipped():
+    tt = ThreadTrace(
+        0,
+        [
+            TraceEvent(0.0, 0, E.THREAD_BEGIN),
+            TraceEvent(0.0, 0, E.REMOTE_WRITE, owner=1, nbytes=8),
+            TraceEvent(0.0, 0, E.THREAD_END),
+        ],
+    )
+    actions = actions_from_thread_trace(tt)
+    assert [a.kind for a in actions] == [A.REMOTE_WRITE, A.END]
+
+
+def test_backwards_time_rejected():
+    tt = ThreadTrace(
+        0,
+        [
+            TraceEvent(5.0, 0, E.THREAD_BEGIN),
+            TraceEvent(1.0, 0, E.THREAD_END),
+        ],
+    )
+    with pytest.raises(ValueError, match="backwards"):
+        actions_from_thread_trace(tt)
+
+
+def test_empty_trace():
+    assert actions_from_thread_trace(ThreadTrace(0, [])) == []

@@ -1,0 +1,145 @@
+"""Barrier models: protocol correctness and cost relations."""
+
+import pytest
+
+from repro.core.parameters import BarrierParams
+from repro.core import presets
+from repro.core.pipeline import measure
+from repro.core.translation import translate
+from repro.sim.barrier import BarrierCoordinator
+from repro.sim.simulator import simulate
+from repro.des import Environment
+
+
+def barrier_only_program(n, iters=1, skew=100.0):
+    def factory(rt):
+        def body(ctx):
+            for it in range(iters):
+                yield from ctx.compute_us(skew * (ctx.tid + 1))
+                yield from ctx.barrier()
+
+        return body
+
+    return factory
+
+
+def run_with(n, barrier_overrides, iters=1):
+    tp = translate(measure(barrier_only_program(n, iters), n, name="b"))
+    params = presets.distributed_memory().with_(barrier=barrier_overrides)
+    return simulate(tp, params)
+
+
+def test_tree_children_parent():
+    env = Environment()
+    c = BarrierCoordinator(env, 8, BarrierParams())
+    assert c.tree_children(0) == [1, 2, 4]
+    assert c.tree_children(4) == [5, 6]
+    assert c.tree_children(2) == [3]
+    assert c.tree_children(1) == []
+    assert c.tree_parent(5) == 4
+    assert c.tree_parent(6) == 4
+    assert c.tree_parent(4) == 0
+    with pytest.raises(ValueError):
+        c.tree_parent(0)
+
+
+def test_tree_children_non_power_of_two():
+    env = Environment()
+    c = BarrierCoordinator(env, 6, BarrierParams())
+    assert c.tree_children(0) == [1, 2, 4]
+    assert c.tree_children(4) == [5]
+    # Every node except the root appears exactly once as a child.
+    seen = [ch for p in range(6) for ch in c.tree_children(p)]
+    assert sorted(seen) == [1, 2, 3, 4, 5]
+
+
+@pytest.mark.parametrize("n", [1, 2, 5, 8])
+@pytest.mark.parametrize(
+    "overrides",
+    [
+        {"algorithm": "linear", "by_msgs": True},
+        {"algorithm": "linear", "by_msgs": False},
+        {"algorithm": "log", "by_msgs": True},
+        {"algorithm": "log", "by_msgs": False},
+        {"algorithm": "hardware"},
+    ],
+)
+def test_all_barrier_configs_complete(n, overrides):
+    res = run_with(n, overrides, iters=2)
+    assert res.barrier_count == 2
+    assert res.execution_time > 0
+
+
+def test_no_thread_exits_before_last_entry():
+    res = run_with(4, {"algorithm": "linear", "by_msgs": True})
+    from repro.trace.events import EventKind
+
+    enters, exits = [], []
+    for tt in res.threads:
+        for e in tt.events:
+            if e.kind == EventKind.BARRIER_ENTER:
+                enters.append(e.time)
+            elif e.kind == EventKind.BARRIER_EXIT:
+                exits.append(e.time)
+    assert min(exits) >= max(enters)
+
+
+def test_hardware_faster_than_linear():
+    lin = run_with(8, {"algorithm": "linear"}).execution_time
+    hw = run_with(8, {"algorithm": "hardware"}).execution_time
+    assert hw < lin
+
+
+def test_log_beats_linear_for_simultaneous_arrivals():
+    """The tree pays its depth but removes the master's serial arrival
+    processing — it wins when arrivals bunch up and checks are costly
+    (with skewed arrivals the linear master hides its checks in the
+    wait, which is why the paper can call linear an upper bound yet
+    still usable)."""
+    n = 16
+
+    def factory(rt):
+        def body(ctx):
+            yield from ctx.compute_us(100.0)  # everyone arrives together
+            yield from ctx.barrier()
+
+        return body
+
+    tp = translate(measure(factory, n, name="b"))
+    base = presets.distributed_memory()
+    lin = simulate(
+        tp, base.with_(barrier={"algorithm": "linear", "check_time": 50.0})
+    ).execution_time
+    log_ = simulate(
+        tp, base.with_(barrier={"algorithm": "log", "check_time": 50.0})
+    ).execution_time
+    assert log_ < lin
+
+
+def test_barrier_message_sizes_on_wire():
+    res = run_with(4, {"algorithm": "linear", "by_msgs": True, "msg_size": 256})
+    assert res.network.by_kind["barrier_arrive"] == 3
+    assert res.network.by_kind["barrier_release"] == 3
+
+
+def test_zero_cost_barrier_is_free():
+    zero = {
+        "entry_time": 0.0,
+        "exit_time": 0.0,
+        "check_time": 0.0,
+        "exit_check_time": 0.0,
+        "model_time": 0.0,
+        "by_msgs": False,
+    }
+    tp = translate(measure(barrier_only_program(4), 4, name="b"))
+    params = presets.ideal().with_(barrier=zero)
+    res = simulate(tp, params)
+    assert res.execution_time == pytest.approx(tp.ideal_execution_time())
+
+
+def test_master_check_cost_scales_linearly():
+    """Linear barrier: the master consumes n-1 arrivals at check_time each."""
+    small = run_with(4, {"check_time": 50.0, "model_time": 0.0})
+    big = run_with(8, {"check_time": 50.0, "model_time": 0.0})
+    # 3 vs 7 checks of 50us on the critical path (plus smaller terms).
+    assert big.execution_time - small.execution_time > 2.5 * 50.0

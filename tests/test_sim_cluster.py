@@ -1,0 +1,80 @@
+"""The multi-cluster network (shared memory within, messages between)."""
+
+import pytest
+
+from repro.core.parameters import NetworkParams, SimulationParameters
+from repro.core.pipeline import measure
+from repro.core.translation import translate
+from repro.des import Environment
+from repro.pcxx import Collection, make_distribution
+from repro.sim.cluster import ClusterNetwork
+from repro.sim.messages import Message, MsgKind
+from repro.sim.simulator import Simulator
+
+
+def test_membership():
+    env = Environment()
+    net = ClusterNetwork(env, 8, NetworkParams(), cluster_size=4)
+    assert net.cluster_of(0) == 0
+    assert net.cluster_of(3) == 0
+    assert net.cluster_of(4) == 1
+    assert net.same_cluster(1, 2)
+    assert not net.same_cluster(3, 4)
+
+
+def test_bad_cluster_size():
+    with pytest.raises(ValueError):
+        ClusterNetwork(Environment(), 8, NetworkParams(), cluster_size=0)
+
+
+def test_intra_cluster_is_cheaper():
+    env = Environment()
+    net = ClusterNetwork(
+        env,
+        8,
+        NetworkParams(comm_startup_time=100.0, byte_transfer_time=0.05),
+        cluster_size=4,
+    )
+    assert net.startup_time(0, 1) < net.startup_time(0, 5)
+    intra = net.wire_time(Message(MsgKind.REQUEST, src=0, dst=1, nbytes=1000))
+    inter = net.wire_time(Message(MsgKind.REQUEST, src=0, dst=5, nbytes=1000))
+    assert intra < inter
+
+
+def neighbour_program(rt):
+    n = rt.n_threads
+    coll = Collection("c", make_distribution(n, n, "block"), element_nbytes=64)
+    for i in range(n):
+        coll.poke(i, i)
+
+    def body(ctx):
+        yield from ctx.compute_us(100.0)
+        yield from ctx.get(coll, (ctx.tid + 1) % n, nbytes=64)
+        yield from ctx.barrier()
+
+    return body
+
+
+def clustered_sim(cluster_size):
+    n = 8
+    tp = translate(measure(neighbour_program, n, name="nb"))
+    params = SimulationParameters()
+
+    def factory(env, n_, net_params):
+        return ClusterNetwork(env, n_, net_params, cluster_size=cluster_size)
+
+    return Simulator(tp, params, network_factory=factory).run()
+
+
+def test_clustering_speeds_up_neighbour_exchange():
+    """Nearest-neighbour reads mostly stay inside clusters of 4, so the
+    clustered run beats the fully-distributed (cluster_size=1) run."""
+    all_remote = clustered_sim(1).execution_time
+    clustered = clustered_sim(4).execution_time
+    assert clustered < all_remote
+
+
+def test_full_machine_cluster_is_fastest():
+    one_cluster = clustered_sim(8).execution_time
+    clustered = clustered_sim(4).execution_time
+    assert one_cluster <= clustered

@@ -1,0 +1,150 @@
+"""The multithreaded-processor extension (n threads on m processors)."""
+
+import pytest
+
+from repro.core import presets
+from repro.core.pipeline import measure
+from repro.core.translation import translate
+from repro.pcxx import Collection, make_distribution
+from repro.sim.multithread import (
+    assign_threads,
+    simulate_multithreaded,
+)
+
+
+def program(rt):
+    n = rt.n_threads
+    coll = Collection("c", make_distribution(n, n, "block"), element_nbytes=64)
+    for i in range(n):
+        coll.poke(i, i)
+
+    def body(ctx):
+        for it in range(2):
+            yield from ctx.compute_us(500.0)
+            if n > 1:
+                yield from ctx.get(coll, (ctx.tid + 1) % n, nbytes=8)
+            yield from ctx.barrier()
+
+    return body
+
+
+def tp(n=8):
+    return translate(measure(program, n, name="mt"))
+
+
+def test_assignment_block():
+    assert assign_threads(8, 2, "block") == [0, 0, 0, 0, 1, 1, 1, 1]
+    assert assign_threads(6, 4, "block") == [0, 0, 1, 1, 2, 2]
+
+
+def test_assignment_cyclic():
+    assert assign_threads(8, 2, "cyclic") == [0, 1, 0, 1, 0, 1, 0, 1]
+
+
+def test_assignment_validation():
+    with pytest.raises(ValueError):
+        assign_threads(4, 8)  # m > n
+    with pytest.raises(ValueError):
+        assign_threads(4, 0)
+    with pytest.raises(ValueError):
+        assign_threads(4, 2, "random")
+
+
+def test_single_processor_serialises_everything():
+    t = tp(4)
+    res = simulate_multithreaded(t, presets.distributed_memory(), 1)
+    # Everything is local on one processor: no network traffic.
+    assert res.messages == 0
+    # All compute serialised: at least the sum of all compute phases.
+    assert res.execution_time >= t.total_compute_time()
+
+
+def test_full_width_close_to_singlethread_model():
+    """m == n should land in the same regime as the per-processor
+    simulator (coarser service model, so not exactly equal)."""
+    from repro.sim.simulator import simulate
+
+    t = tp(8)
+    mt = simulate_multithreaded(t, presets.distributed_memory(), 8)
+    st = simulate(t, presets.distributed_memory())
+    assert mt.execution_time == pytest.approx(st.execution_time, rel=0.5)
+
+
+def test_more_processors_never_lose_big_on_compute_bound():
+    def compute_only(rt):
+        def body(ctx):
+            yield from ctx.compute_us(2000.0)
+            yield from ctx.barrier()
+
+        return body
+
+    t = translate(measure(compute_only, 8, name="c"))
+    times = {
+        m: simulate_multithreaded(t, presets.distributed_memory(), m).execution_time
+        for m in (1, 2, 4, 8)
+    }
+    assert times[8] < times[4] < times[2] < times[1]
+    # Perfect strong scaling on pure compute (up to barrier costs).
+    assert times[1] / times[8] > 6
+
+
+def test_same_processor_access_is_local():
+    t = tp(8)
+    res = simulate_multithreaded(
+        t, presets.distributed_memory(), 4, assignment_scheme="block"
+    )
+    # Neighbour reads (tid+1): 3/4 of them stay inside a block of 2...
+    local = sum(p.local_requests for p in res.processors)
+    served = sum(p.requests_served for p in res.processors)
+    assert local > 0
+    assert local + served == 8 * 2  # every read accounted once
+
+
+def test_cyclic_assignment_changes_locality():
+    t = tp(8)
+    block = simulate_multithreaded(
+        t, presets.distributed_memory(), 4, assignment_scheme="block"
+    )
+    cyc = simulate_multithreaded(
+        t, presets.distributed_memory(), 4, assignment_scheme="cyclic"
+    )
+    # Neighbour communication: block packing keeps some reads local;
+    # cyclic assignment makes every (tid+1) read remote.
+    assert sum(p.local_requests for p in cyc.processors) == 0
+    assert sum(p.local_requests for p in block.processors) > 0
+    assert cyc.messages > block.messages
+
+
+def test_run_twice_rejected():
+    from repro.sim.multithread import MultithreadSimulator
+
+    sim = MultithreadSimulator(tp(4), presets.distributed_memory(), 2)
+    sim.run()
+    with pytest.raises(RuntimeError):
+        sim.run()
+
+
+def test_cluster_network_in_multithread_model():
+    """Multithreaded processors grouped into shared-memory clusters:
+    the §3.3.1 extension composed with the §3.3.2 cluster model."""
+    from repro.sim.cluster import ClusterNetwork
+    from repro.sim.multithread import MultithreadSimulator
+
+    t = tp(8)
+
+    def clustered(env, m, net_params):
+        return ClusterNetwork(env, m, net_params, cluster_size=2)
+
+    flat = simulate_multithreaded(t, presets.distributed_memory(), 4)
+    clus = MultithreadSimulator(
+        t, presets.distributed_memory(), 4, network_factory=clustered
+    ).run()
+    # Neighbouring processors now talk through shared memory: never slower.
+    assert clus.execution_time <= flat.execution_time
+
+
+def test_utilization_bounds():
+    res = simulate_multithreaded(tp(8), presets.distributed_memory(), 4)
+    assert 0.0 < res.utilization() <= 1.0
+    assert len(res.thread_end_times) == 8
+    assert res.execution_time == max(res.thread_end_times)

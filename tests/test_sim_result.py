@@ -1,0 +1,74 @@
+"""SimulationResult aggregates and reports."""
+
+import pytest
+
+from repro.core import presets
+from repro.core.pipeline import measure_and_extrapolate
+from repro.pcxx import Collection, make_distribution
+from repro.sim.result import CATEGORIES, ProcessorStats
+
+
+def outcome(n=4):
+    def program(rt):
+        coll = Collection("c", make_distribution(n, n, "block"), element_nbytes=64)
+        for i in range(n):
+            coll.poke(i, i)
+
+        def body(ctx):
+            yield from ctx.compute_us(1000.0)
+            if n > 1:
+                yield from ctx.get(coll, (ctx.tid + 1) % n, nbytes=16)
+            yield from ctx.barrier()
+
+        return body
+
+    return measure_and_extrapolate(program, n, presets.distributed_memory(), name="r")
+
+
+def test_processor_stats_add():
+    st = ProcessorStats(pid=3)
+    st.add("compute", 5.0)
+    st.add("service", 2.0)
+    assert st.busy_total == 7.0
+    assert st.compute_time == 5.0
+    assert set(st.categories) == set(CATEGORIES)
+
+
+def test_comm_and_barrier_time():
+    st = ProcessorStats()
+    st.add("comm_overhead", 3.0)
+    st.add("service", 2.0)
+    st.comm_wait = 5.0
+    st.add("barrier_overhead", 1.0)
+    st.barrier_wait = 4.0
+    assert st.comm_time == 10.0
+    assert st.barrier_time == 5.0
+
+
+def test_idle_fraction():
+    st = ProcessorStats()
+    st.end_time = 100.0
+    st.comm_wait = 25.0
+    st.barrier_wait = 25.0
+    assert st.idle_fraction == 0.5
+    assert ProcessorStats().idle_fraction == 0.0
+
+
+def test_result_aggregates():
+    res = outcome().result
+    assert res.n_processors == 4
+    assert res.total_compute_time() == pytest.approx(4 * 1000.0)
+    assert res.total_comm_time() > 0
+    assert res.total_barrier_time() > 0
+    assert res.comp_comm_ratio() > 0
+    rows = res.breakdown_rows()
+    assert len(rows) == 4
+    assert all(len(r) == 8 for r in rows)
+    assert "predicted time" in res.summary()
+
+
+def test_breakdown_rows_sum_to_lifetime():
+    res = outcome().result
+    for row in res.breakdown_rows():
+        pid, compute, ovh, svc, cwait, bovh, bwait, end = row
+        assert compute + ovh + svc + cwait + bovh + bwait <= end + 1e-6

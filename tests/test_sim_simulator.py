@@ -1,0 +1,225 @@
+"""The trace-driven extrapolation simulator."""
+
+import pytest
+
+from repro.core import presets
+from repro.core.pipeline import measure
+from repro.core.translation import translate
+from repro.pcxx import Collection, make_distribution
+from repro.sim.simulator import Simulator, simulate
+from repro.trace.events import EventKind
+
+
+def simple_program(n, work_us=1000.0, reads_per_iter=1, iters=2, nbytes=64):
+    def factory(rt):
+        coll = Collection(
+            "c", make_distribution(n, n, "block"), element_nbytes=nbytes
+        )
+        for i in range(n):
+            coll.poke(i, float(i))
+
+        def body(ctx):
+            for it in range(iters):
+                yield from ctx.compute_us(work_us)
+                for r in range(reads_per_iter):
+                    if n > 1:
+                        yield from ctx.get(
+                            coll, (ctx.tid + r + 1) % n, nbytes=8
+                        )
+                yield from ctx.barrier()
+
+        return body
+
+    return factory
+
+
+def translated(n, **kw):
+    return translate(measure(simple_program(n, **kw), n, name="simple"))
+
+
+def test_ideal_environment_matches_translation():
+    """Key invariant: zero-cost simulation == translated ideal time."""
+    for n in (1, 2, 4, 8):
+        tp = translated(n)
+        res = simulate(tp, presets.ideal())
+        assert res.execution_time == pytest.approx(tp.ideal_execution_time())
+
+
+def test_costs_only_add_time():
+    tp = translated(4)
+    ideal = simulate(tp, presets.ideal()).execution_time
+    dm = simulate(tp, presets.distributed_memory()).execution_time
+    assert dm > ideal
+
+
+def test_mips_ratio_scales_compute():
+    tp = translated(1, reads_per_iter=0)
+    base = simulate(tp, presets.ideal()).execution_time
+    slow = simulate(
+        tp, presets.ideal().with_(processor={"mips_ratio": 2.0})
+    ).execution_time
+    assert slow == pytest.approx(2 * base)
+
+
+def test_startup_time_monotone():
+    tp = translated(4)
+    times = []
+    for startup in (0.0, 50.0, 200.0):
+        params = presets.distributed_memory().with_(
+            network={"comm_startup_time": startup}
+        )
+        times.append(simulate(tp, params).execution_time)
+    assert times == sorted(times)
+    assert times[0] < times[-1]
+
+
+def test_byte_transfer_time_monotone():
+    tp = translated(4, nbytes=4096)
+    trace_params = []
+    for byte_time in (0.005, 0.05, 0.5):
+        params = presets.distributed_memory().with_(
+            network={"byte_transfer_time": byte_time}
+        )
+        trace_params.append(simulate(tp, params).execution_time)
+    assert trace_params == sorted(trace_params)
+
+
+def test_message_accounting():
+    n, iters, reads = 4, 2, 1
+    tp = translated(n, iters=iters, reads_per_iter=reads)
+    res = simulate(tp, presets.distributed_memory())
+    # request+reply per read, plus barrier arrive/release messages.
+    read_msgs = 2 * n * iters * reads
+    barrier_msgs = 2 * (n - 1) * iters
+    assert res.network.messages == read_msgs + barrier_msgs
+    assert res.barrier_count == iters
+    assert sum(p.remote_accesses for p in res.processors) == n * iters * reads
+    assert sum(p.requests_served for p in res.processors) == n * iters * reads
+
+
+def test_extrapolated_traces_returned():
+    tp = translated(2)
+    res = simulate(tp, presets.distributed_memory())
+    assert len(res.threads) == 2
+    for tt in res.threads:
+        kinds = [e.kind for e in tt.events]
+        assert kinds[0] == EventKind.THREAD_BEGIN
+        assert kinds[-1] == EventKind.THREAD_END
+        times = [e.time for e in tt.events]
+        assert times == sorted(times)
+
+
+def test_stats_are_consistent():
+    tp = translated(4)
+    res = simulate(tp, presets.distributed_memory())
+    for p in res.processors:
+        assert p.end_time <= res.execution_time
+        busy = sum(p.categories.values())
+        assert busy == pytest.approx(p.busy_total)
+        assert p.comm_wait >= 0
+        assert p.barrier_wait >= 0
+        # busy + waits can't exceed the processor's lifetime.
+        assert busy + p.comm_wait + p.barrier_wait <= p.end_time + 1e-6
+
+
+def test_utilization_bounds():
+    tp = translated(4)
+    res = simulate(tp, presets.distributed_memory())
+    assert 0.0 < res.utilization() <= 1.0
+
+
+def test_simulator_run_twice_rejected():
+    tp = translated(2)
+    sim = Simulator(tp, presets.ideal())
+    sim.run()
+    with pytest.raises(RuntimeError):
+        sim.run()
+
+
+def test_max_events_cap():
+    tp = translated(4)
+    with pytest.raises(RuntimeError, match="exceeded"):
+        Simulator(tp, presets.distributed_memory(), max_events=10).run()
+
+
+def imbalanced_program(n, iters=2):
+    """Thread t computes (t+1)x the base work, so fast threads' requests
+    land on slow threads mid-compute (exercising the service policies)."""
+
+    def factory(rt):
+        coll = Collection("c", make_distribution(n, n, "block"), element_nbytes=64)
+        for i in range(n):
+            coll.poke(i, float(i))
+
+        def body(ctx):
+            for it in range(iters):
+                yield from ctx.compute_us(500.0 * (ctx.tid + 1))
+                yield from ctx.get(coll, (ctx.tid + 1) % n, nbytes=8)
+                yield from ctx.barrier()
+
+        return body
+
+    return factory
+
+
+@pytest.mark.parametrize("policy", ["no_interrupt", "interrupt", "poll"])
+def test_policies_complete_and_cover_costs(policy):
+    n = 8
+    tp = translate(measure(imbalanced_program(n), n, name="imb"))
+    params = presets.distributed_memory().with_(processor={"policy": policy})
+    res = simulate(tp, params)
+    assert res.execution_time > 0
+    if policy == "poll":
+        assert any(p.polls > 0 for p in res.processors)
+    if policy == "interrupt":
+        assert any(p.interrupts > 0 for p in res.processors)
+
+
+@pytest.mark.parametrize("algorithm", ["linear", "log", "hardware"])
+def test_barrier_algorithms_complete(algorithm):
+    tp = translated(8)
+    params = presets.distributed_memory().with_(barrier={"algorithm": algorithm})
+    res = simulate(tp, params)
+    assert res.barrier_count == 2
+
+
+def test_flag_mode_barrier():
+    tp = translated(8)
+    params = presets.distributed_memory().with_(barrier={"by_msgs": False})
+    res = simulate(tp, params)
+    # No barrier messages on the network in flag mode.
+    assert "barrier_arrive" not in res.network.by_kind
+    assert res.barrier_count == 2
+
+
+def test_barrier_cost_structure_linear():
+    """A single barrier with balanced arrival should cost at least
+    entry + (n-1)*check + model + exit on the master's path."""
+    n = 4
+    tp = translated(n, work_us=100.0, reads_per_iter=0, iters=1)
+    params = presets.distributed_memory()
+    res = simulate(tp, params)
+    b = params.barrier
+    floor = b.entry_time + (n - 1) * b.check_time + b.model_time + b.exit_time
+    assert res.execution_time >= 100.0 + floor
+
+
+def test_remote_write_protocol():
+    n = 2
+
+    def factory(rt):
+        coll = Collection("c", make_distribution(n, n, "block"), element_nbytes=32)
+        for i in range(n):
+            coll.poke(i, i)
+
+        def body(ctx):
+            if ctx.tid == 0:
+                yield from ctx.put(coll, 1, -5)
+            yield from ctx.barrier()
+
+        return body
+
+    tp = translate(measure(factory, n, name="w"))
+    res = simulate(tp, presets.distributed_memory())
+    assert res.network.by_kind.get("write") == 1
+    assert res.network.by_kind.get("write_ack") == 1

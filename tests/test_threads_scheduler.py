@@ -1,0 +1,152 @@
+"""The non-preemptive threads package."""
+
+import pytest
+
+from repro.threads import Block, DeadlockError, Scheduler, ThreadState, YieldProcessor
+
+
+def test_runs_to_completion_in_spawn_order():
+    sched = Scheduler()
+    log = []
+
+    def thread(tag):
+        log.append(tag)
+        return
+        yield
+
+    for tag in "abc":
+        sched.spawn(thread(tag))
+    sched.run()
+    assert log == ["a", "b", "c"]
+    assert all(t.state is ThreadState.FINISHED for t in sched.threads)
+
+
+def test_clock_advance_only_by_running_thread():
+    sched = Scheduler()
+    times = []
+
+    def thread(dt):
+        sched.advance(dt)
+        times.append(sched.clock)
+        return
+        yield
+
+    sched.spawn(thread(10.0))
+    sched.spawn(thread(5.0))
+    sched.run()
+    assert times == [10.0, 15.0]
+
+
+def test_yield_processor_round_robin():
+    sched = Scheduler()
+    log = []
+
+    def thread(tag):
+        log.append(tag + "1")
+        yield YieldProcessor()
+        log.append(tag + "2")
+
+    sched.spawn(thread("a"))
+    sched.spawn(thread("b"))
+    sched.run()
+    assert log == ["a1", "b1", "a2", "b2"]
+
+
+def test_block_and_unblock():
+    sched = Scheduler()
+    log = []
+
+    def blocker():
+        log.append("blocking")
+        yield Block()
+        log.append("resumed")
+
+    def waker():
+        log.append("waking")
+        sched.unblock(0)
+        return
+        yield
+
+    sched.spawn(blocker())
+    sched.spawn(waker())
+    sched.run()
+    assert log == ["blocking", "waking", "resumed"]
+
+
+def test_deadlock_detection():
+    sched = Scheduler()
+
+    def thread():
+        yield Block()
+
+    sched.spawn(thread())
+    with pytest.raises(DeadlockError):
+        sched.run()
+
+
+def test_unblock_non_blocked_rejected():
+    sched = Scheduler()
+
+    def thread():
+        with pytest.raises(RuntimeError):
+            sched.unblock(0)  # self is RUNNING, not BLOCKED
+        return
+        yield
+
+    sched.spawn(thread())
+    sched.run()
+
+
+def test_switch_overhead_charged():
+    sched = Scheduler(switch_overhead=2.0)
+
+    def thread():
+        yield YieldProcessor()
+
+    sched.spawn(thread())
+    sched.spawn(thread())
+    sched.run()
+    # switches: a(1) b(1) a(1) b(1) = 4 switches
+    assert sched.clock == pytest.approx(8.0)
+    assert sched.switch_count == 4
+
+
+def test_bad_directive_rejected():
+    sched = Scheduler()
+
+    def thread():
+        yield 42
+
+    sched.spawn(thread())
+    with pytest.raises(TypeError, match="directive"):
+        sched.run()
+
+
+def test_negative_advance_rejected():
+    sched = Scheduler()
+
+    def thread():
+        with pytest.raises(ValueError):
+            sched.advance(-1.0)
+        return
+        yield
+
+    sched.spawn(thread())
+    sched.run()
+
+
+def test_thread_results_kept():
+    sched = Scheduler()
+
+    def thread(v):
+        return v * 2
+        yield
+
+    sched.spawn(thread(21))
+    sched.run()
+    assert sched.threads[0].result == 42
+
+
+def test_non_generator_body_rejected():
+    with pytest.raises(TypeError):
+        Scheduler().spawn(lambda: None)

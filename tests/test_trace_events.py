@@ -1,0 +1,60 @@
+"""Trace event records and their serialisation."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace.events import EventKind, TraceEvent
+
+
+def test_kinds_are_stable():
+    # Serialised traces depend on these integer values staying put.
+    assert int(EventKind.THREAD_BEGIN) == 0
+    assert int(EventKind.THREAD_END) == 1
+    assert int(EventKind.BARRIER_ENTER) == 2
+    assert int(EventKind.BARRIER_EXIT) == 3
+    assert int(EventKind.REMOTE_READ) == 4
+    assert int(EventKind.REMOTE_WRITE) == 5
+    assert int(EventKind.MARK) == 6
+
+
+def test_predicates():
+    b = TraceEvent(0.0, 0, EventKind.BARRIER_ENTER, barrier_id=1)
+    r = TraceEvent(0.0, 0, EventKind.REMOTE_READ, owner=1, nbytes=8)
+    m = TraceEvent(0.0, 0, EventKind.MARK, tag="x")
+    assert b.is_barrier and b.is_sync and not b.is_remote
+    assert r.is_remote and not r.is_sync
+    assert not m.is_barrier and not m.is_remote
+
+
+def test_shifted():
+    ev = TraceEvent(5.0, 2, EventKind.REMOTE_READ, owner=1, nbytes=8)
+    moved = ev.shifted(9.0)
+    assert moved.time == 9.0
+    assert moved.thread == 2 and moved.owner == 1 and moved.nbytes == 8
+    assert ev.time == 5.0  # original untouched
+
+
+def test_dict_roundtrip_defaults_elided():
+    ev = TraceEvent(1.0, 0, EventKind.THREAD_BEGIN)
+    d = ev.to_dict()
+    assert set(d) == {"t", "th", "k"}
+    assert TraceEvent.from_dict(d) == ev
+
+
+event_strategy = st.builds(
+    TraceEvent,
+    time=st.floats(min_value=0, max_value=1e9, allow_nan=False),
+    thread=st.integers(0, 63),
+    kind=st.sampled_from(list(EventKind)),
+    barrier_id=st.integers(-1, 1000),
+    owner=st.integers(-1, 63),
+    nbytes=st.integers(0, 1 << 30),
+    collection=st.text(max_size=12),
+    tag=st.text(max_size=12),
+)
+
+
+@settings(max_examples=100, deadline=None)
+@given(event_strategy)
+def test_dict_roundtrip_property(ev):
+    assert TraceEvent.from_dict(ev.to_dict()) == ev

@@ -1,0 +1,94 @@
+"""Merging per-thread traces and per-thread statistics."""
+
+import pytest
+
+from repro.core import presets
+from repro.core.pipeline import measure_and_extrapolate
+from repro.pcxx import Collection, make_distribution
+from repro.trace.stats import compute_stats_per_thread
+from repro.trace.trace import Trace, TraceMeta
+from repro.trace.validate import validate_trace
+
+
+def outcome(n=4):
+    def program(rt):
+        coll = Collection("c", make_distribution(n, n, "block"), element_nbytes=64)
+        for i in range(n):
+            coll.poke(i, i)
+
+        def body(ctx):
+            yield from ctx.compute_us(100.0)
+            if n > 1:
+                yield from ctx.get(coll, (ctx.tid + 1) % n, nbytes=8)
+            yield from ctx.barrier()
+
+        return body
+
+    return measure_and_extrapolate(program, n, presets.cm5(), name="m")
+
+
+def test_split_merge_roundtrip():
+    o = outcome()
+    trace = o.trace
+    merged = Trace.from_thread_traces(trace.meta, trace.split_by_thread())
+    # Same multiset of events; order may legally differ at equal times.
+    assert sorted(merged.events, key=repr) == sorted(trace.events, key=repr)
+    validate_trace(merged)
+
+
+def test_merge_extrapolated_traces_validates():
+    o = outcome()
+    merged = Trace.from_thread_traces(
+        TraceMeta(n_threads=4, program="m"), o.result.threads
+    )
+    validate_trace(merged)
+    assert merged.duration == pytest.approx(o.predicted_time, abs=1e-6)
+
+
+def test_merge_thread_count_mismatch():
+    o = outcome()
+    with pytest.raises(ValueError, match="threads"):
+        Trace.from_thread_traces(TraceMeta(n_threads=7), o.result.threads)
+
+
+def test_compute_stats_per_thread():
+    o = outcome()
+    st = compute_stats_per_thread(o.result.threads)
+    assert st.n_threads == 4
+    assert st.n_remote_reads == 4
+    assert st.n_barriers == 1
+
+
+def test_network_message_log():
+    from repro.core.pipeline import measure
+    from repro.core.translation import translate
+    from repro.sim.network import Network
+    from repro.sim.simulator import Simulator
+
+    def program(rt):
+        n = rt.n_threads
+        coll = Collection("c", make_distribution(n, n, "block"), element_nbytes=64)
+        for i in range(n):
+            coll.poke(i, i)
+
+        def body(ctx):
+            yield from ctx.get(coll, (ctx.tid + 1) % n, nbytes=8)
+            yield from ctx.barrier()
+
+        return body
+
+    tp = translate(measure(program, 4, name="m"))
+    sim = Simulator(
+        tp,
+        presets.cm5(),
+        network_factory=lambda env, n, p: Network(env, n, p, record_messages=True),
+    )
+    res = sim.run()
+    log = sim.network.message_log
+    assert len(log) == res.network.messages
+    # Entries are (inject, deliver, kind, src, dst, nbytes), time-ordered.
+    injects = [row[0] for row in log]
+    assert injects == sorted(injects)
+    assert all(row[1] >= row[0] for row in log)
+    kinds = {row[2] for row in log}
+    assert "request" in kinds and "reply" in kinds

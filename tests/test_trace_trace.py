@@ -1,0 +1,85 @@
+"""Trace containers: split, durations, compute deltas."""
+
+import pytest
+
+from repro.trace.events import EventKind, TraceEvent
+from repro.trace.trace import ThreadTrace, Trace, TraceMeta
+
+
+def _mk(events, n=2):
+    return Trace(TraceMeta(program="t", n_threads=n), events)
+
+
+def test_split_by_thread():
+    tr = _mk(
+        [
+            TraceEvent(0.0, 0, EventKind.THREAD_BEGIN),
+            TraceEvent(1.0, 1, EventKind.THREAD_BEGIN),
+            TraceEvent(2.0, 0, EventKind.THREAD_END),
+            TraceEvent(3.0, 1, EventKind.THREAD_END),
+        ]
+    )
+    parts = tr.split_by_thread()
+    assert [len(p) for p in parts] == [2, 2]
+    assert parts[0].thread == 0
+    assert all(e.thread == 1 for e in parts[1].events)
+
+
+def test_split_rejects_out_of_range_thread():
+    tr = _mk([TraceEvent(0.0, 5, EventKind.THREAD_BEGIN)])
+    with pytest.raises(ValueError):
+        tr.split_by_thread()
+
+
+def test_duration_and_barrier_count():
+    tr = _mk(
+        [
+            TraceEvent(1.0, 0, EventKind.THREAD_BEGIN),
+            TraceEvent(2.0, 0, EventKind.BARRIER_ENTER, barrier_id=0),
+            TraceEvent(3.0, 0, EventKind.BARRIER_EXIT, barrier_id=0),
+            TraceEvent(9.0, 0, EventKind.THREAD_END),
+        ],
+        n=1,
+    )
+    assert tr.duration == 8.0
+    assert tr.barrier_count() == 1
+
+
+def test_empty_trace():
+    tr = _mk([], n=1)
+    assert tr.duration == 0.0
+    assert tr.barrier_count() == 0
+
+
+def test_thread_trace_compute_deltas_exclude_barrier_wait():
+    tt = ThreadTrace(
+        0,
+        [
+            TraceEvent(0.0, 0, EventKind.THREAD_BEGIN),
+            TraceEvent(10.0, 0, EventKind.BARRIER_ENTER, barrier_id=0),
+            TraceEvent(50.0, 0, EventKind.BARRIER_EXIT, barrier_id=0),
+            TraceEvent(57.0, 0, EventKind.THREAD_END),
+        ],
+    )
+    # 0->10 compute, 10->50 barrier wait (excluded), 50->57 compute.
+    assert tt.compute_deltas() == [10.0, 0.0, 7.0]
+    assert tt.duration == 57.0
+
+
+def test_thread_trace_times():
+    tt = ThreadTrace(3, [])
+    assert tt.start_time == 0.0 and tt.end_time == 0.0
+    tt2 = ThreadTrace(0, [TraceEvent(4.0, 0, EventKind.THREAD_BEGIN)])
+    assert tt2.start_time == 4.0 == tt2.end_time
+
+
+def test_meta_roundtrip():
+    meta = TraceMeta(
+        program="grid",
+        n_threads=8,
+        trace_mflops=1.136,
+        size_mode="actual",
+        problem={"m": 16},
+    )
+    again = TraceMeta.from_dict(meta.to_dict())
+    assert again == meta

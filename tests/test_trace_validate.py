@@ -1,0 +1,190 @@
+"""Structural validation of traces: each invariant has a violating case."""
+
+import pytest
+
+from repro.trace.events import EventKind, TraceEvent
+from repro.trace.trace import Trace, TraceMeta
+from repro.trace.validate import TraceValidationError, validate_trace
+
+E = EventKind
+
+
+def mk(events, n=2):
+    return Trace(TraceMeta(program="t", n_threads=n), events)
+
+
+def good_trace():
+    return mk(
+        [
+            TraceEvent(0.0, 0, E.THREAD_BEGIN),
+            TraceEvent(1.0, 0, E.REMOTE_READ, owner=1, nbytes=8),
+            TraceEvent(2.0, 0, E.BARRIER_ENTER, barrier_id=0),
+            TraceEvent(3.0, 1, E.THREAD_BEGIN),
+            TraceEvent(4.0, 1, E.BARRIER_ENTER, barrier_id=0),
+            TraceEvent(4.0, 1, E.BARRIER_EXIT, barrier_id=0),
+            TraceEvent(4.0, 0, E.BARRIER_EXIT, barrier_id=0),
+            TraceEvent(5.0, 0, E.THREAD_END),
+            TraceEvent(5.0, 1, E.THREAD_END),
+        ]
+    )
+
+
+def test_good_trace_passes():
+    validate_trace(good_trace())
+
+
+def test_bad_n_threads():
+    with pytest.raises(TraceValidationError, match="n_threads"):
+        validate_trace(mk([], n=0))
+
+
+def test_thread_out_of_range():
+    tr = mk([TraceEvent(0.0, 9, E.THREAD_BEGIN)])
+    with pytest.raises(TraceValidationError, match="out of range"):
+        validate_trace(tr)
+
+
+def test_time_backwards():
+    tr = mk(
+        [
+            TraceEvent(5.0, 0, E.THREAD_BEGIN),
+            TraceEvent(3.0, 0, E.THREAD_END),
+        ],
+        n=1,
+    )
+    with pytest.raises(TraceValidationError, match="backwards"):
+        validate_trace(tr)
+
+
+def test_event_before_begin():
+    tr = mk([TraceEvent(0.0, 0, E.MARK, tag="x")], n=1)
+    with pytest.raises(TraceValidationError, match="before THREAD_BEGIN"):
+        validate_trace(tr)
+
+
+def test_event_after_end():
+    tr = mk(
+        [
+            TraceEvent(0.0, 0, E.THREAD_BEGIN),
+            TraceEvent(1.0, 0, E.THREAD_END),
+            TraceEvent(2.0, 0, E.MARK, tag="x"),
+        ],
+        n=1,
+    )
+    with pytest.raises(TraceValidationError, match="after THREAD_END"):
+        validate_trace(tr)
+
+
+def test_duplicate_begin():
+    tr = mk(
+        [
+            TraceEvent(0.0, 0, E.THREAD_BEGIN),
+            TraceEvent(1.0, 0, E.THREAD_BEGIN),
+        ],
+        n=1,
+    )
+    with pytest.raises(TraceValidationError, match="duplicate"):
+        validate_trace(tr)
+
+
+def test_missing_end():
+    tr = mk([TraceEvent(0.0, 0, E.THREAD_BEGIN)], n=1)
+    with pytest.raises(TraceValidationError, match="missing THREAD_END"):
+        validate_trace(tr)
+
+
+def test_nested_barrier():
+    tr = mk(
+        [
+            TraceEvent(0.0, 0, E.THREAD_BEGIN),
+            TraceEvent(1.0, 0, E.BARRIER_ENTER, barrier_id=0),
+            TraceEvent(2.0, 0, E.BARRIER_ENTER, barrier_id=1),
+        ],
+        n=1,
+    )
+    with pytest.raises(TraceValidationError, match="nested"):
+        validate_trace(tr)
+
+
+def test_exit_wrong_barrier():
+    tr = mk(
+        [
+            TraceEvent(0.0, 0, E.THREAD_BEGIN),
+            TraceEvent(1.0, 0, E.BARRIER_ENTER, barrier_id=0),
+            TraceEvent(2.0, 0, E.BARRIER_EXIT, barrier_id=5),
+        ],
+        n=1,
+    )
+    with pytest.raises(TraceValidationError, match="exit from barrier"):
+        validate_trace(tr)
+
+
+def test_end_inside_barrier():
+    tr = mk(
+        [
+            TraceEvent(0.0, 0, E.THREAD_BEGIN),
+            TraceEvent(1.0, 0, E.BARRIER_ENTER, barrier_id=0),
+            TraceEvent(2.0, 0, E.THREAD_END),
+        ],
+        n=1,
+    )
+    with pytest.raises(TraceValidationError, match="inside barrier"):
+        validate_trace(tr)
+
+
+def test_remote_self_access():
+    tr = mk(
+        [
+            TraceEvent(0.0, 0, E.THREAD_BEGIN),
+            TraceEvent(1.0, 0, E.REMOTE_READ, owner=0, nbytes=8),
+        ],
+        n=1,
+    )
+    with pytest.raises(TraceValidationError, match="own element"):
+        validate_trace(tr)
+
+
+def test_remote_bad_size():
+    tr = mk(
+        [
+            TraceEvent(0.0, 0, E.THREAD_BEGIN),
+            TraceEvent(1.0, 0, E.REMOTE_READ, owner=1, nbytes=0),
+        ]
+    )
+    with pytest.raises(TraceValidationError, match="size"):
+        validate_trace(tr)
+
+
+def test_partial_barrier_participation():
+    tr = mk(
+        [
+            TraceEvent(0.0, 0, E.THREAD_BEGIN),
+            TraceEvent(1.0, 0, E.BARRIER_ENTER, barrier_id=0),
+            TraceEvent(2.0, 0, E.BARRIER_EXIT, barrier_id=0),
+            TraceEvent(3.0, 0, E.THREAD_END),
+            TraceEvent(0.0, 1, E.THREAD_BEGIN),
+            TraceEvent(1.0, 1, E.THREAD_END),
+        ]
+    )
+    with pytest.raises(TraceValidationError, match="expected all"):
+        validate_trace(tr)
+    # The check is optional for partial-barrier languages.
+    validate_trace(tr, require_global_barriers=False)
+
+
+def test_runtime_traces_validate():
+    """Traces produced by the tracing runtime are well-formed by construction."""
+    from repro.pcxx import Collection, TracingRuntime, make_distribution
+
+    rt = TracingRuntime(3, "v")
+    coll = Collection("c", make_distribution(3, 3, "cyclic"), element_nbytes=16)
+    for i in range(3):
+        coll.poke(i, i)
+
+    def body(ctx):
+        yield from ctx.compute(100)
+        yield from ctx.get(coll, (ctx.tid + 1) % 3)
+        yield from ctx.barrier()
+        yield from ctx.mark("done")
+
+    validate_trace(rt.run(body))

@@ -1,0 +1,41 @@
+"""ASCII plots: structural checks only (they're a reporting aid)."""
+
+import pytest
+
+from repro.util.asciiplot import ascii_series_plot
+
+
+def test_plot_contains_marks_and_legend():
+    out = ascii_series_plot(
+        {"up": [(1, 1.0), (2, 2.0)], "down": [(1, 2.0), (2, 1.0)]},
+        width=20,
+        height=5,
+    )
+    assert "o = up" in out
+    assert "x = down" in out
+    assert "o" in out.splitlines()[1]
+
+
+def test_logx():
+    out = ascii_series_plot(
+        {"s": [(1, 1.0), (32, 5.0)]}, logx=True, width=16, height=4
+    )
+    assert "1 .. 32" in out
+
+
+def test_logx_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        ascii_series_plot({"s": [(0, 1.0)]}, logx=True)
+
+
+def test_empty_rejected():
+    with pytest.raises(ValueError):
+        ascii_series_plot({})
+    with pytest.raises(ValueError):
+        ascii_series_plot({"s": []})
+
+
+def test_constant_series():
+    # Degenerate spans must not divide by zero.
+    out = ascii_series_plot({"s": [(1, 3.0), (2, 3.0)]}, width=8, height=3)
+    assert "s" in out

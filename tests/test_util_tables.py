@@ -1,0 +1,39 @@
+"""ASCII table formatting."""
+
+import pytest
+
+from repro.util.tables import format_table
+
+
+def test_basic_alignment():
+    out = format_table(["P", "time"], [[1, 2.0], [32, 1.25]])
+    lines = out.splitlines()
+    assert len(lines) == 4
+    assert all(len(line) == len(lines[0]) for line in lines)
+    assert "32" in lines[3]
+
+
+def test_title():
+    out = format_table(["a"], [[1]], title="hello")
+    assert out.splitlines()[0] == "hello"
+
+
+def test_float_format():
+    out = format_table(["x"], [[1.23456]], float_fmt=".1f")
+    assert "1.2" in out
+    assert "1.23" not in out
+
+
+def test_bools_and_strings():
+    out = format_table(["a", "b"], [[True, "text"]])
+    assert "True" in out and "text" in out
+
+
+def test_ragged_rows_rejected():
+    with pytest.raises(ValueError, match="row 0"):
+        format_table(["a", "b"], [[1]])
+
+
+def test_empty_rows():
+    out = format_table(["a"], [])
+    assert len(out.splitlines()) == 2

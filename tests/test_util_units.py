@@ -1,0 +1,52 @@
+"""Unit conversions: the paper's bandwidth/time numbers must round-trip."""
+
+import math
+
+import pytest
+
+from repro.util.units import (
+    bytes_per_us_to_mbytes_per_s,
+    mbytes_per_s_to_us_per_byte,
+    mflops_to_us_per_flop,
+    us_per_byte_to_mbytes_per_s,
+    us_to_ms,
+    us_to_s,
+)
+
+
+def test_paper_bandwidths():
+    # The parameter-set bandwidths quoted in §4.1 and Table 3.
+    assert mbytes_per_s_to_us_per_byte(20.0) == pytest.approx(0.05)
+    assert mbytes_per_s_to_us_per_byte(200.0) == pytest.approx(0.005)
+    assert mbytes_per_s_to_us_per_byte(5.0) == pytest.approx(0.2)
+    assert mbytes_per_s_to_us_per_byte(8.5) == pytest.approx(0.118, abs=1e-3)
+
+
+def test_roundtrip():
+    for mb in (1.0, 8.5, 20.0, 200.0, 1234.5):
+        assert us_per_byte_to_mbytes_per_s(
+            mbytes_per_s_to_us_per_byte(mb)
+        ) == pytest.approx(mb)
+
+
+def test_bytes_per_us():
+    assert bytes_per_us_to_mbytes_per_s(1.0) == pytest.approx(1.0)
+    assert bytes_per_us_to_mbytes_per_s(0.05) == pytest.approx(0.05)
+
+
+def test_mflops():
+    # Sun4: 1.1360 MFLOPS -> ~0.88 us per flop.
+    assert mflops_to_us_per_flop(1.1360) == pytest.approx(1 / 1.1360)
+    assert mflops_to_us_per_flop(1.0) == 1.0
+
+
+def test_time_conversions():
+    assert us_to_s(1_000_000.0) == 1.0
+    assert us_to_ms(1500.0) == 1.5
+
+
+@pytest.mark.parametrize("fn", [mbytes_per_s_to_us_per_byte, us_per_byte_to_mbytes_per_s, mflops_to_us_per_flop])
+@pytest.mark.parametrize("bad", [0.0, -1.0])
+def test_rejects_nonpositive(fn, bad):
+    with pytest.raises(ValueError):
+        fn(bad)
