@@ -33,6 +33,63 @@ def test_event_loop_throughput(benchmark):
     assert events > 1000
 
 
+def test_timeout_only_fast_path_throughput(benchmark):
+    """The run_batched fast path on the Timeout-only workload."""
+
+    def run():
+        env = Environment()
+
+        def sleeper(env):
+            for _ in range(2000):
+                yield env.timeout(1.0)
+
+        env.process(sleeper(env))
+        env.run_batched()
+        return env.processed_event_count
+
+    events = benchmark(run)
+    assert events > 2000
+
+
+def test_profiled_run_collects_counters(run_once):
+    """Profiling overhead stays bounded and the counters are complete."""
+    from repro.perf.bench import simulator_replay
+
+    def run():
+        from repro.core import presets
+        from repro.core.pipeline import measure
+        from repro.core.translation import translate
+        from repro.pcxx import Collection, make_distribution
+        from repro.sim.simulator import Simulator
+
+        def program(rt):
+            n = rt.n_threads
+            coll = Collection(
+                "c", make_distribution(n, n, "block"), element_nbytes=64
+            )
+            for i in range(n):
+                coll.poke(i, i)
+
+            def body(ctx):
+                for it in range(6):
+                    yield from ctx.compute_us(100.0 * ((ctx.tid + it) % 3 + 1))
+                    yield from ctx.get(coll, (ctx.tid + 1) % n, nbytes=8)
+                    yield from ctx.barrier()
+
+            return body
+
+        tp = translate(measure(program, 8, name="bench"))
+        sim = Simulator(tp, presets.distributed_memory(), profile=True)
+        sim.run()
+        return sim
+
+    sim = run_once(run)
+    profile = sim.profile
+    assert profile.counters.events_total == sim.env.processed_event_count
+    assert profile.counters.events_total == simulator_replay(8)
+    print(f"\n  {profile.format()}")
+
+
 def test_full_pipeline_grid_16(run_once):
     cfg = suite_configs(quick=True)["grid"]
     maker = BENCHMARKS["grid"].make_program(cfg)

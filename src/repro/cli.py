@@ -9,6 +9,7 @@ Subcommands::
     extrap study  <bench> --preset distributed_memory -p 1,2,4,8,16,32
     extrap machine <bench> -n 8              # reference CM-5 direct run
     extrap experiment fig4 [--paper]
+    extrap bench [-o BENCH_engine.json]      # engine perf trajectory
 """
 
 from __future__ import annotations
@@ -93,12 +94,16 @@ def cmd_trace(args) -> int:
 def cmd_predict(args) -> int:
     trace = read_trace(args.trace)
     params = _apply_overrides(presets.by_name(args.preset), args.set or [])
-    outcome = extrapolate(trace, params)
+    outcome = extrapolate(trace, params, profile=args.profile)
     print(params.describe())
     print(f"measured trace: {outcome.trace_stats.summary()}")
     print(f"ideal execution time:     {outcome.ideal_time:12.1f} us")
     print(f"predicted execution time: {outcome.predicted_time:12.1f} us")
     print(outcome.result.summary())
+    if outcome.result.profile is not None:
+        from repro.metrics.report import profile_section
+
+        print(profile_section(outcome.result))
     return 0
 
 
@@ -107,8 +112,32 @@ def cmd_report(args) -> int:
 
     trace = read_trace(args.trace)
     params = _apply_overrides(presets.by_name(args.preset), args.set or [])
-    outcome = extrapolate(trace, params)
+    outcome = extrapolate(trace, params, profile=args.profile)
     print(full_report(outcome))
+    return 0
+
+
+def cmd_bench(args) -> int:
+    from repro.perf.bench import (
+        format_results,
+        load_baseline,
+        run_benchmarks,
+        write_baseline,
+    )
+
+    results = run_benchmarks(scale=args.scale, repeats=args.repeats)
+    baseline = None
+    try:
+        baseline = load_baseline(args.baseline)
+    except FileNotFoundError:
+        # The default baseline is optional; an explicit one must exist.
+        if args.baseline != "BENCH_engine.json":
+            print(f"warning: baseline {args.baseline} not found", file=sys.stderr)
+    except ValueError as exc:
+        print(f"warning: ignoring baseline {args.baseline}: {exc}", file=sys.stderr)
+    print(format_results(results, baseline))
+    if args.output:
+        print(f"wrote {write_baseline(results, args.output)}")
     return 0
 
 
@@ -243,11 +272,33 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="group.field=value",
         help="override a parameter, e.g. processor.mips_ratio=0.5",
     )
+    p.add_argument(
+        "--profile",
+        action="store_true",
+        help="collect and print engine counters / phase timers",
+    )
 
     r = sub.add_parser("report", help="full debugging report for a trace")
     r.add_argument("trace", help="trace file from 'extrap trace'")
     r.add_argument("--preset", default="distributed_memory")
     r.add_argument("--set", action="append", metavar="group.field=value")
+    r.add_argument(
+        "--profile",
+        action="store_true",
+        help="include the engine profile section in the report",
+    )
+
+    b = sub.add_parser(
+        "bench", help="run the engine benchmark harness (BENCH_engine.json)"
+    )
+    b.add_argument("-o", "--output", default=None, help="write baseline JSON here")
+    b.add_argument("--scale", type=float, default=1.0)
+    b.add_argument("--repeats", type=int, default=3)
+    b.add_argument(
+        "--baseline",
+        default="BENCH_engine.json",
+        help="baseline to compare against (if present)",
+    )
 
     m = sub.add_parser("machine", help="run a benchmark on the reference CM-5")
     m.add_argument("benchmark", choices=sorted(BENCHMARKS))
@@ -306,6 +357,7 @@ def main(argv: List[str] | None = None) -> int:
         "trace": cmd_trace,
         "predict": cmd_predict,
         "report": cmd_report,
+        "bench": cmd_bench,
         "machine": cmd_machine,
         "calibrate": cmd_calibrate,
         "compare": cmd_compare,

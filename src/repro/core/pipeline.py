@@ -90,6 +90,7 @@ def extrapolate(
     params: SimulationParameters,
     *,
     compensate_overhead: float = 0.0,
+    profile: bool = False,
 ) -> ExtrapolationOutcome:
     """Translate a measured trace and simulate it in environment ``params``.
 
@@ -101,9 +102,13 @@ def extrapolate(
         Target-environment description (see :mod:`repro.core.presets`).
     compensate_overhead:
         Per-event instrumentation overhead to subtract during translation.
+    profile:
+        Collect engine counters and phase timers on the simulation; the
+        outcome's ``result.profile`` carries them (slower run, identical
+        simulation results).
     """
     translated = translate(trace, event_overhead=compensate_overhead)
-    result = simulate(translated, params)
+    result = simulate(translated, params, profile=profile)
     return ExtrapolationOutcome(
         trace=trace,
         trace_stats=compute_stats(trace),

@@ -18,7 +18,7 @@ scheduling (stable tie-break on a monotone sequence number).
 """
 
 from repro.des.events import AllOf, AnyOf, Event, Interrupt, Timeout
-from repro.des.engine import Environment, StopSimulation
+from repro.des.engine import Deadlock, Environment, StopSimulation
 from repro.des.process import Process, ProcessKilled
 from repro.des.stores import FilterStore, PriorityItem, PriorityStore, Store
 from repro.des.resources import Resource
@@ -26,6 +26,7 @@ from repro.des.resources import Resource
 __all__ = [
     "AllOf",
     "AnyOf",
+    "Deadlock",
     "Environment",
     "Event",
     "FilterStore",

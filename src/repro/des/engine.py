@@ -1,16 +1,41 @@
-"""The simulation environment: clock + event queue + run loop."""
+"""The simulation environment: clock + event queue + run loop.
+
+The run loop has two tiers:
+
+* :meth:`Environment.step` — the readable one-event reference path;
+* :meth:`Environment.run_batched` — the fast path used by
+  :meth:`Environment.run` and the simulators.  It drains the heap in
+  same-time batches with the event-dispatch inlined (no per-event
+  method calls), processing events in exactly the order repeated
+  ``step()`` calls would.
+
+Profiling (:meth:`Environment.enable_profiling`) attaches an
+:class:`~repro.perf.counters.EngineCounters` block; while it is on,
+the loop routes through the instrumented path so events are histogrammed
+by type and the heap peak is tracked.  The fast path pays nothing for
+the feature when it is off (one ``is None`` test per drain).
+"""
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from typing import Any, Generator, Iterable, List, Optional, Tuple
 
-from repro.des.events import AllOf, AnyOf, Event, Timeout
+from repro.des.events import PROCESSED, AllOf, AnyOf, Event, Timeout
 from repro.des.process import Process
+from repro.perf.counters import EngineCounters
 
 
 class StopSimulation(Exception):
     """Raised by :meth:`Environment.run` internals to halt the loop."""
+
+
+class Deadlock(RuntimeError):
+    """Raised when the queue drains before an awaited event fires."""
+
+
+def _noop_callback(_ev: Event) -> None:
+    """Placeholder waiter attached to a ``run(until=event)`` sentinel."""
 
 
 class Environment:
@@ -31,6 +56,7 @@ class Environment:
         self._seq = 0
         self._active: Optional[Process] = None
         self._event_count = 0
+        self._profile: Optional[EngineCounters] = None
 
     # -- introspection ------------------------------------------------------
 
@@ -48,6 +74,27 @@ class Environment:
     def processed_event_count(self) -> int:
         """Total number of events processed so far (profiling aid)."""
         return self._event_count
+
+    @property
+    def profile(self) -> Optional[EngineCounters]:
+        """The counter block, or None while profiling is off."""
+        return self._profile
+
+    def enable_profiling(self) -> EngineCounters:
+        """Attach (or return the already-attached) engine counters.
+
+        While enabled, processed events are histogrammed by type and the
+        event-queue peak is tracked; the run loop uses its instrumented
+        path, which is measurably slower than the default fast path.
+        """
+        if self._profile is None:
+            self._profile = EngineCounters()
+        return self._profile
+
+    def disable_profiling(self) -> Optional[EngineCounters]:
+        """Detach and return the counter block (restores the fast path)."""
+        profile, self._profile = self._profile, None
+        return profile
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
@@ -83,18 +130,121 @@ class Environment:
         if delay < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay})")
         self._seq += 1
-        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+        queue = self._queue
+        heappush(queue, (self._now + delay, priority, self._seq, event))
+        profile = self._profile
+        if profile is not None:
+            profile.scheduled_total += 1
+            if len(queue) > profile.heap_peak:
+                profile.heap_peak = len(queue)
 
-    def step(self) -> None:
-        """Process exactly one event (advancing the clock to it)."""
+    def step(self) -> Event:
+        """Process exactly one event (advancing the clock to it).
+
+        Returns the processed event.  This is the reference path; bulk
+        draining goes through :meth:`run_batched`, which behaves exactly
+        like repeated ``step()`` calls.
+        """
         if not self._queue:
             raise StopSimulation("event queue is empty")
-        t, _prio, _seq, event = heapq.heappop(self._queue)
-        if t < self._now:  # pragma: no cover - guarded by _schedule
-            raise RuntimeError("event queue corrupted: time went backwards")
+        t, _prio, _seq, event = heappop(self._queue)
         self._now = t
         self._event_count += 1
+        if self._profile is not None:
+            self._profile.count(event)
         event._process()
+        return event
+
+    def run_batched(
+        self,
+        until: Event | None = None,
+        *,
+        max_events: int | None = None,
+    ) -> bool:
+        """Drain the event queue on the engine's fast path.
+
+        Events are processed in exactly the order repeated :meth:`step`
+        calls would produce (the documented FIFO/priority contract), but
+        the pop/dispatch sequence is inlined and same-time runs are
+        drained in batches so the clock is written once per timestamp.
+
+        Parameters
+        ----------
+        until:
+            Stop right after this event has been processed.  Raises
+            :class:`Deadlock` if the queue drains first.
+        max_events:
+            Process at most this many events, then return ``False``.
+
+        Returns ``True`` when finished (queue drained, or ``until``
+        processed), ``False`` when the ``max_events`` budget ran out.
+        """
+        if until is not None and until._state == PROCESSED:
+            return True
+        if self._profile is not None:
+            return self._run_instrumented(until, max_events)
+
+        queue = self._queue
+        pop = heappop
+        budget = -1 if max_events is None else max_events
+        if budget == 0:
+            return until is None and not queue
+        count = 0
+        try:
+            while queue:
+                t = queue[0][0]
+                self._now = t
+                # Drain everything scheduled for exactly t.  Callbacks may
+                # push new time-t entries; the peek re-checks pick those up
+                # in (priority, seq) order, same as step() would.
+                while queue and queue[0][0] == t:
+                    event = pop(queue)[3]
+                    count += 1
+                    # Inlined Event._process (do not override _process in
+                    # Event subclasses; the loop bypasses the method).
+                    event._state = PROCESSED
+                    callbacks = event.callbacks
+                    if callbacks:
+                        event.callbacks = []
+                        for cb in callbacks:
+                            cb(event)
+                    elif not event._ok and not event.defused:
+                        # A failure nobody waited on: surface it.
+                        raise event._value
+                    if event is until:
+                        return True
+                    if count == budget:
+                        return False
+        finally:
+            self._event_count += count
+        if until is not None:
+            raise Deadlock(
+                "simulation ran out of events before the awaited "
+                f"event fired ({until!r}); deadlock?"
+            )
+        return True
+
+    def _run_instrumented(
+        self, until: Event | None, max_events: int | None
+    ) -> bool:
+        """Profiling twin of :meth:`run_batched`, built on :meth:`step`."""
+        budget = -1 if max_events is None else max_events
+        if budget == 0:
+            return until is None and not self._queue
+        count = 0
+        while self._queue:
+            event = self.step()
+            count += 1
+            if event is until:
+                return True
+            if count == budget:
+                return False
+        if until is not None:
+            raise Deadlock(
+                "simulation ran out of events before the awaited "
+                f"event fired ({until!r}); deadlock?"
+            )
+        return True
 
     def run(self, until: float | Event | None = None) -> Any:
         """Run the simulation.
@@ -107,28 +257,21 @@ class Environment:
           its value (raising if it failed).
         """
         if until is None:
-            while self._queue:
-                self.step()
+            self.run_batched()
             return None
 
         if isinstance(until, Event):
             sentinel = until
-            done = {"hit": False}
-
-            def mark(ev: Event) -> None:
-                done["hit"] = True
-
-            if sentinel.processed:
-                done["hit"] = True
-            else:
-                sentinel.callbacks.append(mark)
-            while not done["hit"]:
-                if not self._queue:
-                    raise RuntimeError(
-                        "simulation ran out of events before the awaited "
-                        f"event fired ({sentinel!r}); deadlock?"
-                    )
-                self.step()
+            if sentinel._state != PROCESSED:
+                # Register as a waiter so a failing sentinel counts as
+                # handled (run() re-raises it below), and detach again on
+                # every exit path — a stale callback must not linger on
+                # the sentinel after the run returns or raises.
+                sentinel.callbacks.append(_noop_callback)
+                try:
+                    self.run_batched(sentinel)
+                finally:
+                    sentinel._remove_callback(_noop_callback)
             if not sentinel.ok:
                 sentinel.defused = True
                 raise sentinel.value
@@ -139,7 +282,28 @@ class Environment:
             raise ValueError(
                 f"cannot run until {horizon}; clock is already at {self._now}"
             )
-        while self._queue and self._queue[0][0] <= horizon:
-            self.step()
+        queue = self._queue
+        pop = heappop
+        count = 0
+        try:
+            while queue and queue[0][0] <= horizon:
+                if self._profile is not None:
+                    self.step()
+                    continue
+                t = queue[0][0]
+                self._now = t
+                while queue and queue[0][0] == t:
+                    event = pop(queue)[3]
+                    count += 1
+                    event._state = PROCESSED
+                    callbacks = event.callbacks
+                    if callbacks:
+                        event.callbacks = []
+                        for cb in callbacks:
+                            cb(event)
+                    elif not event._ok and not event.defused:
+                        raise event._value
+        finally:
+            self._event_count += count
         self._now = horizon
         return None

@@ -140,11 +140,16 @@ class Timeout(Event):
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        super().__init__(env)
+        # Timeouts are the engine's hottest allocation; set every slot
+        # directly instead of chaining through Event.__init__ (which
+        # would store _state/_ok/_value twice).
+        self.env = env
         self.delay = delay
-        self._ok = True
-        self._value = value
         self._state = TRIGGERED
+        self._value = value
+        self._ok = True
+        self.callbacks = []
+        self.defused = False
         env._schedule(self, delay)
 
     def __repr__(self) -> str:
@@ -214,8 +219,10 @@ class Initialize(Event):
     __slots__ = ()
 
     def __init__(self, env: "Environment", value: Any = None):
-        super().__init__(env)
-        self._ok = True
-        self._value = value
+        self.env = env
         self._state = TRIGGERED
+        self._value = value
+        self._ok = True
+        self.callbacks = []
+        self.defused = False
         env._schedule(self, 0.0, priority=-1)

@@ -12,7 +12,14 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Generator, Optional
 
-from repro.des.events import Event, Initialize, Interrupt, PENDING
+from repro.des.events import (
+    Event,
+    Initialize,
+    Interrupt,
+    PENDING,
+    PROCESSED,
+    TRIGGERED,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.des.engine import Environment
@@ -96,52 +103,76 @@ class Process(Event):
     # -- resume paths --------------------------------------------------------
 
     def _resume_with_interrupt(self, ev: Event) -> None:
-        self._step(throw=ev.value)
+        self._throw_in(ev.value, killing=False)
 
     def _resume_with_kill(self, ev: Event) -> None:
-        self._step(throw=ProcessKilled(), killing=True)
+        self._throw_in(ProcessKilled(), killing=True)
 
     def _resume(self, ev: Event) -> None:
-        if not ev.ok:
-            self._step(throw=ev.value)
-        else:
-            self._step(send=ev.value)
+        """Advance the generator one step and rearm on its next yield.
 
-    def _step(
-        self,
-        send: Any = None,
-        throw: BaseException | None = None,
-        killing: bool = False,
-    ) -> None:
-        """Advance the generator one step and rearm on its next yield."""
+        This is the engine's hottest callback (one call per processed
+        event a process waits on), so the success path is fully inlined:
+        no property lookups, no delegation, and the common rearm case —
+        a live event in this environment — is handled here.
+        """
         self._target = None
-        self.env._active = self
+        env = self.env
+        env._active = self
         try:
-            if throw is not None:
-                target = self._generator.throw(throw)
+            if ev._ok:
+                target = self._generator.send(ev._value)
             else:
-                target = self._generator.send(send)
+                target = self._generator.throw(ev._value)
         except StopIteration as stop:
-            self.env._active = None
+            env._active = None
             self.succeed(stop.value)
             return
-        except ProcessKilled as exc:
-            self.env._active = None
-            if killing:
-                # Normal kill path: fail quietly, nobody has to observe it.
-                self.fail(exc)
-                self.defused = True
-            else:
-                self.fail(exc)
-            return
         except BaseException as exc:
-            self.env._active = None
+            env._active = None
             self.fail(exc)
             return
-        finally:
-            if self.env._active is self:
-                self.env._active = None
+        env._active = None
 
+        # Hot rearm: a pending/triggered event belonging to this env.
+        if isinstance(target, Event) and target.env is env:
+            state = target._state
+            if state != PROCESSED:
+                target.callbacks.append(self._resume)
+                self._target = target
+                if state == TRIGGERED and not target._ok:
+                    # We are now a waiter on the failure, so it is handled.
+                    target.defused = True
+                return
+        self._rearm(target)
+
+    def _throw_in(self, exc: BaseException, killing: bool) -> None:
+        """Resume the generator by throwing (interrupt/kill cold path)."""
+        self._target = None
+        env = self.env
+        env._active = self
+        try:
+            target = self._generator.throw(exc)
+        except StopIteration as stop:
+            env._active = None
+            self.succeed(stop.value)
+            return
+        except ProcessKilled as err:
+            env._active = None
+            self.fail(err)
+            if killing:
+                # Normal kill path: fail quietly, nobody has to observe it.
+                self.defused = True
+            return
+        except BaseException as err:
+            env._active = None
+            self.fail(err)
+            return
+        env._active = None
+        self._rearm(target)
+
+    def _rearm(self, target: Any) -> None:
+        """Wait on ``target`` (slow cases: processed/foreign/non-events)."""
         if not isinstance(target, Event):
             err = RuntimeError(
                 f"process {self.name!r} yielded {target!r}, expected an Event"
@@ -153,21 +184,21 @@ class Process(Event):
             self._generator.close()
             self.fail(RuntimeError("yielded event belongs to another environment"))
             return
-        if target.processed:
+        if target._state == PROCESSED:
             # Already done: resume at the current time through the queue so
             # simultaneous events keep FIFO order.
             proxy = Event(self.env)
             proxy.callbacks.append(self._resume)
-            if target.ok:
-                proxy.succeed(target.value)
+            if target._ok:
+                proxy.succeed(target._value)
             else:
                 target.defused = True
-                proxy.fail(target.value)
+                proxy.fail(target._value)
             self._target = proxy
         else:
             target.callbacks.append(self._resume)
             self._target = target
-            if target.triggered and not target._ok:
+            if target._state == TRIGGERED and not target._ok:
                 # We are now a waiter on the failure, so it is handled.
                 target.defused = True
 

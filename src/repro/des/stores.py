@@ -76,13 +76,30 @@ class Store:
     def put(self, item: Any) -> StorePut:
         """Request to add ``item``; returns the completion event."""
         ev = StorePut(self, item)
-        self._put_waiters.append(ev)
-        self._dispatch()
+        # Fast path: no queued puts ahead and room available — accept
+        # directly; a full dispatch only runs when getters are blocked.
+        if not self._put_waiters and len(self.items) < self.capacity:
+            self._accept(item)
+            ev.succeed()
+            if self._get_waiters:
+                self._dispatch()
+        else:
+            self._put_waiters.append(ev)
+            self._dispatch()
         return ev
 
     def get(self) -> StoreGet:
         """Request to remove the oldest item; returns the retrieval event."""
         ev = StoreGet(self)
+        # Fast path: no getters queued ahead and an item is available.
+        if not self._get_waiters and self.items:
+            item = self._extract(ev)
+            if item is not self._NOTHING:
+                ev.succeed(item)
+                # Taking an item may free capacity for queued puts.
+                if self._put_waiters:
+                    self._dispatch()
+                return ev
         self._get_waiters.append(ev)
         self._dispatch()
         return ev
@@ -112,16 +129,14 @@ class Store:
         return self.items.pop(0) if self.items else self._NOTHING
 
     def _dispatch(self) -> None:
-        progress = True
-        while progress:
-            progress = False
+        while True:
             # Admit queued puts while there is room.
             while self._put_waiters and len(self.items) < self.capacity:
                 put_ev = self._put_waiters.pop(0)
                 self._accept(put_ev.item)
                 put_ev.succeed()
-                progress = True
             # Serve getters (FIFO; FilterStore may skip non-matching ones).
+            served = False
             i = 0
             while i < len(self._get_waiters) and self.items:
                 get_ev = self._get_waiters[i]
@@ -131,7 +146,11 @@ class Store:
                     continue
                 self._get_waiters.pop(i)
                 get_ev.succeed(item)
-                progress = True
+                served = True
+            # Serving a get can free capacity for a queued put; loop only
+            # when that can actually unblock something.
+            if not (served and self._put_waiters):
+                return
 
 
 class FilterStore(Store):

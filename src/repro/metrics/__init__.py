@@ -10,9 +10,14 @@ objects, and provides the processor-scaling machinery
 experiments build on.
 """
 
-from repro.metrics.metrics import PerformanceMetrics, derive_metrics, speedups
+from repro.metrics.metrics import (
+    PerformanceMetrics,
+    derive_metrics,
+    metrics_from_result,
+    speedups,
+)
 from repro.metrics.phases import PhaseStats, phase_stats, phase_table
-from repro.metrics.report import full_report
+from repro.metrics.report import full_report, profile_section
 from repro.metrics.scaling import ScalingPoint, ScalingStudy
 
 __all__ = [
@@ -22,7 +27,9 @@ __all__ = [
     "ScalingStudy",
     "derive_metrics",
     "full_report",
+    "metrics_from_result",
     "phase_stats",
     "phase_table",
+    "profile_section",
     "speedups",
 ]

@@ -49,14 +49,16 @@ def derive_metrics(
     """Derive metrics from one simulation result.
 
     ``baseline_time`` is the 1-processor execution time in the *same*
-    target environment; speedup/efficiency are None without it.
+    target environment; speedup/efficiency are None without it.  A
+    degenerate result (zero/negative ``execution_time``, or no
+    processors) also yields ``None`` for both rather than raising.
     """
     n = result.n_processors
     speedup = efficiency = None
     if baseline_time is not None:
         if baseline_time <= 0:
             raise ValueError(f"baseline time must be positive, got {baseline_time}")
-        if result.execution_time > 0:
+        if result.execution_time > 0 and n > 0:
             speedup = baseline_time / result.execution_time
             efficiency = speedup / n
     return PerformanceMetrics(
@@ -73,6 +75,11 @@ def derive_metrics(
         messages=result.network.messages,
         message_bytes=result.network.bytes,
     )
+
+
+#: Alias matching the "metrics from a result" naming used elsewhere in
+#: the docs; same callable as :func:`derive_metrics`.
+metrics_from_result = derive_metrics
 
 
 def speedups(times: Mapping[int, float]) -> Dict[int, float]:

@@ -120,6 +120,17 @@ def bottleneck_summary(result: SimulationResult) -> str:
     return "\n".join(lines)
 
 
+def profile_section(result: SimulationResult) -> str:
+    """The engine-profile block for a result, if one was collected.
+
+    Empty string when the simulation ran without ``profile=True`` —
+    callers can unconditionally append it.
+    """
+    if result.profile is None:
+        return ""
+    return result.profile.format()
+
+
 def full_report(outcome: ExtrapolationOutcome, *, width: int = 72) -> str:
     """Everything a debugging session wants on one screen."""
     from repro.metrics.phases import phase_stats, phase_table
@@ -140,4 +151,6 @@ def full_report(outcome: ExtrapolationOutcome, *, width: int = 72) -> str:
     ]
     if phase_stats(res.threads):
         parts += ["", phase_table(res.threads)]
+    if res.profile is not None:
+        parts += ["", profile_section(res)]
     return "\n".join(parts)

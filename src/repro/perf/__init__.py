@@ -1,0 +1,27 @@
+"""Engine observability: counters, phase timers, benchmark harness.
+
+The PPT-Multicore lesson (Barai et al.) is that an analytical or
+simulation-based predictor is only trusted at scale when it can report
+on itself cheaply.  This package holds the pieces:
+
+* :class:`EngineCounters` — event-loop counters the DES engine fills in
+  when :meth:`~repro.des.Environment.enable_profiling` is on;
+* :class:`PhaseTimer` / :class:`PhaseRecord` — wall + simulated time
+  per named phase;
+* :class:`SimulationProfile` — the bundle exported as
+  ``SimulationResult.profile`` by ``Simulator(..., profile=True)``;
+* :mod:`repro.perf.bench` — the seeded benchmark harness behind
+  ``BENCH_engine.json`` (imported explicitly, not re-exported, so this
+  package stays import-light for the engine).
+"""
+
+from repro.perf.counters import EngineCounters
+from repro.perf.profile import SimulationProfile
+from repro.perf.timers import PhaseRecord, PhaseTimer
+
+__all__ = [
+    "EngineCounters",
+    "PhaseRecord",
+    "PhaseTimer",
+    "SimulationProfile",
+]

@@ -1,0 +1,207 @@
+"""Engine benchmark harness: the perf trajectory behind ``BENCH_engine.json``.
+
+Three seeded reference workloads exercise the layers of the hot path:
+
+* ``timeout_chain`` — the pure event loop (Timeout-only, the
+  ``run_batched`` fast-path case);
+* ``pingpong`` — processes + stores (get/put/timeout churn);
+* ``simulator`` — a full trace-driven replay (8 processors, the
+  distributed-memory preset) through :class:`repro.sim.Simulator`.
+
+:func:`run_benchmarks` times each (best of N repeats) and
+:func:`write_baseline` persists the result as ``BENCH_engine.json`` so
+future changes have a committed trajectory to regress against (see
+``tests/test_perf_smoke.py``).  Run it via ``extrap bench`` or
+``python -m repro.perf.bench``.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Callable, Dict
+
+SCHEMA_VERSION = 1
+
+#: Default baseline location: the repository/working-directory root.
+DEFAULT_BASELINE = "BENCH_engine.json"
+
+
+# -- reference workloads ---------------------------------------------------
+
+
+def timeout_chain(n: int = 20_000) -> int:
+    """One process sleeping ``n`` times: the Timeout-only fast path."""
+    from repro.des import Environment
+
+    env = Environment()
+
+    def sleeper(env):
+        for _ in range(n):
+            yield env.timeout(1.0)
+
+    env.process(sleeper(env))
+    env.run_batched()
+    return env.processed_event_count
+
+
+def pingpong(rounds: int = 5_000) -> int:
+    """Two processes bouncing a token through stores."""
+    from repro.des import Environment, Store
+
+    env = Environment()
+
+    def ping(env, store_in, store_out, n):
+        for _ in range(n):
+            yield store_in.get()
+            yield env.timeout(1.0)
+            yield store_out.put(None)
+
+    a, b = Store(env), Store(env)
+    env.process(ping(env, a, b, rounds))
+    env.process(ping(env, b, a, rounds))
+    a.put(None)
+    env.run(None)
+    return env.processed_event_count
+
+
+def simulator_replay(n_threads: int = 8, iters: int = 6) -> int:
+    """A full extrapolation replay on the distributed-memory preset."""
+    from repro.core import presets
+    from repro.core.pipeline import measure
+    from repro.core.translation import translate
+    from repro.pcxx import Collection, make_distribution
+    from repro.sim.simulator import Simulator
+
+    def program(rt):
+        n = rt.n_threads
+        coll = Collection(
+            "c", make_distribution(n, n, "block"), element_nbytes=64
+        )
+        for i in range(n):
+            coll.poke(i, i)
+
+        def body(ctx):
+            for it in range(iters):
+                yield from ctx.compute_us(100.0 * ((ctx.tid + it) % 3 + 1))
+                yield from ctx.get(coll, (ctx.tid + 1) % n, nbytes=8)
+                yield from ctx.barrier()
+
+        return body
+
+    tp = translate(measure(program, n_threads, name="bench"))
+    sim = Simulator(tp, presets.distributed_memory())
+    sim.run()
+    return sim.env.processed_event_count
+
+
+#: name -> (workload(scaled_size) -> processed event count, base size)
+WORKLOADS: Dict[str, tuple] = {
+    "timeout_chain": (timeout_chain, 20_000),
+    "pingpong": (pingpong, 5_000),
+    "simulator": (simulator_replay, 8),
+}
+
+
+# -- harness ----------------------------------------------------------------
+
+
+def run_benchmarks(
+    *, scale: float = 1.0, repeats: int = 3, workloads=None
+) -> dict:
+    """Time every workload; best-of-``repeats`` wall time per workload.
+
+    ``scale`` shrinks the per-workload problem size (events scale with
+    it for the micro workloads; the simulator workload keeps its shape).
+    Returns a JSON-serialisable result dict.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    results: Dict[str, dict] = {}
+    selected = WORKLOADS if workloads is None else {
+        name: WORKLOADS[name] for name in workloads
+    }
+    for name, (fn, base_size) in selected.items():
+        size = base_size if name == "simulator" else max(1, int(base_size * scale))
+        fn(size)  # warm-up run (imports, allocator)
+        best = float("inf")
+        events = 0
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            events = fn(size)
+            best = min(best, time.perf_counter() - t0)
+        results[name] = {
+            "size": size,
+            "events": events,
+            "best_s": best,
+            "events_per_s": events / best if best > 0 else None,
+        }
+    return {
+        "schema": SCHEMA_VERSION,
+        "python": platform.python_version(),
+        "scale": scale,
+        "repeats": repeats,
+        "workloads": results,
+    }
+
+
+def write_baseline(results: dict, path: str | Path = DEFAULT_BASELINE) -> Path:
+    """Persist a benchmark result as the committed baseline."""
+    path = Path(path)
+    path.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_baseline(path: str | Path = DEFAULT_BASELINE) -> dict:
+    """Load a committed baseline; raises FileNotFoundError if absent."""
+    path = Path(path)
+    data = json.loads(path.read_text())
+    if data.get("schema") != SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: unsupported benchmark schema {data.get('schema')!r} "
+            f"(expected {SCHEMA_VERSION})"
+        )
+    return data
+
+
+def format_results(results: dict, baseline: dict | None = None) -> str:
+    """Human-readable table, optionally with speedup vs. a baseline."""
+    lines = ["engine benchmarks (best of %d):" % results.get("repeats", 1)]
+    base_wl = (baseline or {}).get("workloads", {})
+    for name, r in results["workloads"].items():
+        rate = r["events_per_s"]
+        line = (
+            f"  {name:14s} {r['events']:>8d} events  "
+            f"{r['best_s'] * 1e3:8.2f} ms  {rate:>12,.0f} events/s"
+        )
+        ref = base_wl.get(name, {}).get("events_per_s")
+        if ref:
+            line += f"  ({rate / ref:.2f}x baseline)"
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:  # pragma: no cover - thin CLI shim
+    import argparse
+
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("-o", "--output", default=None, help="write baseline JSON here")
+    ap.add_argument("--scale", type=float, default=1.0)
+    ap.add_argument("--repeats", type=int, default=3)
+    ap.add_argument("--baseline", default=DEFAULT_BASELINE)
+    args = ap.parse_args(argv)
+    results = run_benchmarks(scale=args.scale, repeats=args.repeats)
+    try:
+        baseline = load_baseline(args.baseline)
+    except (FileNotFoundError, ValueError):
+        baseline = None
+    print(format_results(results, baseline))
+    if args.output:
+        print(f"wrote {write_baseline(results, args.output)}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,73 @@
+"""Engine-level instrumentation counters.
+
+:class:`EngineCounters` is the cheap always-additive counter block the
+DES engine fills in when profiling is enabled
+(:meth:`repro.des.Environment.enable_profiling`).  It deliberately has
+no dependencies on the rest of the library so the engine can import it
+without layering cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class EngineCounters:
+    """Counters maintained by the event loop while profiling is on.
+
+    Attributes
+    ----------
+    events_total:
+        Events processed (same quantity as
+        :attr:`~repro.des.Environment.processed_event_count`, but only
+        counted while profiling was enabled).
+    events_by_type:
+        Processed-event histogram keyed by event class name
+        (``Timeout``, ``StoreGet``, ``Process``, ...).
+    callbacks_fired:
+        Total callbacks invoked by event processing.
+    scheduled_total:
+        Events pushed onto the heap while profiling was enabled.
+    heap_peak:
+        Largest event-queue length observed.
+    """
+
+    events_total: int = 0
+    events_by_type: Dict[str, int] = field(default_factory=dict)
+    callbacks_fired: int = 0
+    scheduled_total: int = 0
+    heap_peak: int = 0
+
+    def count(self, event) -> None:
+        """Record one processed event (called by the engine loop)."""
+        self.events_total += 1
+        name = type(event).__name__
+        by_type = self.events_by_type
+        by_type[name] = by_type.get(name, 0) + 1
+        self.callbacks_fired += len(event.callbacks)
+
+    def as_dict(self) -> dict:
+        """JSON-serialisable snapshot."""
+        return {
+            "events_total": self.events_total,
+            "events_by_type": dict(
+                sorted(self.events_by_type.items(), key=lambda kv: -kv[1])
+            ),
+            "callbacks_fired": self.callbacks_fired,
+            "scheduled_total": self.scheduled_total,
+            "heap_peak": self.heap_peak,
+        }
+
+    def format(self) -> str:
+        """Short text block for reports."""
+        lines = [
+            f"engine counters: {self.events_total} events processed, "
+            f"{self.callbacks_fired} callbacks, heap peak {self.heap_peak}",
+        ]
+        for name, count in sorted(
+            self.events_by_type.items(), key=lambda kv: -kv[1]
+        ):
+            lines.append(f"  {name:16s} {count}")
+        return "\n".join(lines)

@@ -1,0 +1,53 @@
+"""The simulation profile bundle exported on :class:`SimulationResult`.
+
+A :class:`SimulationProfile` is what ``Simulator(..., profile=True)``
+attaches to its result: the engine's counters, the per-phase timers,
+and headline throughput numbers.  It is JSON-serialisable so the CLI
+and the benchmark harness can persist it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.perf.counters import EngineCounters
+from repro.perf.timers import PhaseTimer
+
+
+@dataclass
+class SimulationProfile:
+    """Engine observability for one simulation run."""
+
+    counters: EngineCounters = field(default_factory=EngineCounters)
+    timers: PhaseTimer = field(default_factory=PhaseTimer)
+    wall_time_s: float = 0.0
+    sim_time_us: float = 0.0
+
+    @property
+    def events_per_second(self) -> Optional[float]:
+        """Host-side event throughput, or None for a zero-length run."""
+        if self.wall_time_s <= 0:
+            return None
+        return self.counters.events_total / self.wall_time_s
+
+    def as_dict(self) -> dict:
+        rate = self.events_per_second
+        return {
+            "wall_time_s": self.wall_time_s,
+            "sim_time_us": self.sim_time_us,
+            "events_per_second": rate,
+            "counters": self.counters.as_dict(),
+            "phases": self.timers.as_dict(),
+        }
+
+    def format(self) -> str:
+        """Multi-line text block for the CLI / debugging report."""
+        rate = self.events_per_second
+        head = (
+            f"simulation profile: {self.wall_time_s * 1e3:.1f} ms wall for "
+            f"{self.sim_time_us:.1f} us simulated"
+        )
+        if rate is not None:
+            head += f" ({rate:,.0f} events/s)"
+        return "\n".join([head, self.counters.format(), self.timers.format()])

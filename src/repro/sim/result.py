@@ -9,12 +9,13 @@ per-thread event traces, network statistics — from which
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.trace.trace import ThreadTrace, TraceMeta
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.parameters import SimulationParameters
+    from repro.perf import SimulationProfile
     from repro.sim.network import NetworkStats
 
 #: Busy-time categories tracked per processor.
@@ -95,6 +96,9 @@ class SimulationResult:
     threads: List[ThreadTrace]
     network: "NetworkStats"
     barrier_count: int = 0
+    #: engine counters + phase timers; set when the simulator ran with
+    #: ``profile=True`` (see :class:`repro.perf.SimulationProfile`)
+    profile: Optional["SimulationProfile"] = None
 
     @property
     def n_processors(self) -> int:
@@ -119,7 +123,7 @@ class SimulationResult:
 
     def utilization(self) -> float:
         """Mean fraction of processor lifetime spent computing."""
-        if self.execution_time <= 0:
+        if self.execution_time <= 0 or self.n_processors == 0:
             return 0.0
         return self.total_compute_time() / (
             self.execution_time * self.n_processors

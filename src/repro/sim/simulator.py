@@ -3,11 +3,13 @@
 from __future__ import annotations
 
 import itertools
+import time
 from typing import List, Optional
 
 from repro.core.parameters import SimulationParameters
 from repro.core.translation import TranslatedProgram
-from repro.des import Environment
+from repro.des import Deadlock, Environment
+from repro.perf import PhaseTimer, SimulationProfile
 from repro.sim.actions import actions_from_thread_trace
 from repro.sim.barrier import BarrierCoordinator
 from repro.sim.network import Network
@@ -33,6 +35,7 @@ class Simulator:
         max_events: int = 50_000_000,
         network_factory=None,
         placement=None,
+        profile: bool = False,
     ):
         """``network_factory(env, n, network_params) -> Network`` lets
         callers substitute a different interconnect model (e.g.
@@ -40,6 +43,11 @@ class Simulator:
         substitutability §3.3 advertises.  ``placement`` maps logical
         processors to physical topology positions (the §2 "processor
         mapping" axis); ignored when a custom factory is given.
+
+        ``profile=True`` turns on engine counters and per-phase timers;
+        the result carries a :class:`~repro.perf.SimulationProfile`.
+        Profiled runs produce identical simulation results but run on
+        the engine's slower instrumented loop.
         """
         if translated.n_threads < 1:
             raise ValueError("translated program has no threads")
@@ -49,6 +57,12 @@ class Simulator:
         n = translated.n_threads
 
         self.env = Environment()
+        self.profile: Optional[SimulationProfile] = None
+        if profile:
+            self.profile = SimulationProfile(
+                counters=self.env.enable_profiling(),
+                timers=PhaseTimer(self.env),
+            )
         if network_factory is not None:
             self.network = network_factory(self.env, n, params.network)
             if placement is not None:
@@ -81,26 +95,60 @@ class Simulator:
         if self._ran:
             raise RuntimeError("simulator already ran; create a new one")
         self._ran = True
+        wall0 = time.perf_counter()
         env = self.env
+        timers = self.profile.timers if self.profile is not None else None
+
+        if timers is not None:
+            with timers.phase("spawn"):
+                self._spawn()
+            with timers.phase("replay"):
+                self._replay()
+            with timers.phase("drain"):
+                env.run(None)
+            with timers.phase("collect"):
+                result = self._collect()
+        else:
+            self._spawn()
+            self._replay()
+            # Drain in-flight messages (late replies/releases already en
+            # route; finished processors keep serving).
+            env.run(None)
+            result = self._collect()
+
+        if self.profile is not None:
+            self.profile.wall_time_s = time.perf_counter() - wall0
+            self.profile.sim_time_us = env.now
+            result.profile = self.profile
+        return result
+
+    def _spawn(self) -> None:
         for p in self.processors:
-            env.process(p.run(), name=f"proc{p.pid}")
+            self.env.process(p.run(), name=f"proc{p.pid}")
+
+    def _replay(self) -> None:
+        """Run until every processor's replay is done (the hot loop)."""
+        env = self.env
         all_done = env.all_of([p.done for p in self.processors])
-        while not all_done.triggered:
-            if env.processed_event_count > self.max_events:
+        while True:
+            remaining = self.max_events - env.processed_event_count
+            if remaining <= 0:
                 raise RuntimeError(
                     f"simulation exceeded {self.max_events} events "
                     "(runaway or max_events set too low)"
                 )
-            if env.peek() == float("inf"):
-                stuck = [p.pid for p in self.processors if not p.done.triggered]
+            try:
+                if env.run_batched(all_done, max_events=remaining):
+                    return
+            except Deadlock:
+                stuck = [
+                    p.pid for p in self.processors if not p.done.triggered
+                ]
                 raise RuntimeError(
                     f"simulation deadlocked; processors {stuck} never finished"
-                )
-            env.step()
-        # Drain in-flight messages (late replies/releases already en route;
-        # finished processors keep serving).
-        env.run(None)
+                ) from None
 
+    def _collect(self) -> SimulationResult:
         threads = [
             ThreadTrace(p.pid, p.out_events) for p in self.processors
         ]
@@ -121,6 +169,7 @@ def simulate(
     *,
     max_events: Optional[int] = None,
     placement=None,
+    profile: bool = False,
 ) -> SimulationResult:
     """One-call convenience wrapper around :class:`Simulator`."""
     kwargs = {}
@@ -128,4 +177,6 @@ def simulate(
         kwargs["max_events"] = max_events
     if placement is not None:
         kwargs["placement"] = placement
+    if profile:
+        kwargs["profile"] = True
     return Simulator(translated, params, **kwargs).run()

@@ -28,15 +28,30 @@ _VERSION = 1
 _REC = struct.Struct("<diiiiqii")
 
 
+#: Supported on-disk trace formats, by (case-insensitive) suffix.
+SUPPORTED_SUFFIXES = (".jsonl", ".bin")
+
+
+def _format_for(path: Path) -> str:
+    """Normalized suffix for ``path``, or a helpful error."""
+    suffix = path.suffix.lower()
+    if suffix not in SUPPORTED_SUFFIXES:
+        supported = ", ".join(SUPPORTED_SUFFIXES)
+        raise ValueError(
+            f"unknown trace suffix {path.suffix!r} for {path.name!r}; "
+            f"supported formats: {supported}"
+        )
+    return suffix
+
+
 def write_trace(trace: Trace, path: str | Path) -> Path:
-    """Write ``trace`` to ``path``; format chosen by suffix (.jsonl/.bin)."""
+    """Write ``trace`` to ``path``; format chosen by suffix (.jsonl/.bin,
+    case-insensitive)."""
     path = Path(path)
-    if path.suffix == ".bin":
+    if _format_for(path) == ".bin":
         _write_binary(trace, path)
-    elif path.suffix == ".jsonl":
-        _write_jsonl(trace, path)
     else:
-        raise ValueError(f"unknown trace suffix {path.suffix!r} (use .jsonl or .bin)")
+        _write_jsonl(trace, path)
     return path
 
 
@@ -58,9 +73,17 @@ class TraceFileWriter:
 
     def __init__(self, path: str | Path, meta: TraceMeta):
         path = Path(path)
-        if path.suffix != ".jsonl":
+        suffix = path.suffix.lower()
+        if suffix == ".bin":
             raise ValueError(
-                f"streaming writer supports .jsonl only, got {path.suffix!r}"
+                f"{path}: TraceFileWriter streams .jsonl and cannot produce "
+                "a binary trace (the .bin format needs the event count up "
+                "front); buffer events and use write_trace() instead"
+            )
+        if suffix != ".jsonl":
+            raise ValueError(
+                f"streaming writer supports .jsonl only, got {path.suffix!r} "
+                "(for .bin, collect events and use write_trace())"
             )
         self.path = path
         self._fh = path.open("w", encoding="utf-8")
@@ -87,13 +110,12 @@ class TraceFileWriter:
 
 
 def read_trace(path: str | Path) -> Trace:
-    """Read a trace written by :func:`write_trace`."""
+    """Read a trace written by :func:`write_trace` (suffix chosen
+    case-insensitively)."""
     path = Path(path)
-    if path.suffix == ".bin":
+    if _format_for(path) == ".bin":
         return _read_binary(path)
-    if path.suffix == ".jsonl":
-        return _read_jsonl(path)
-    raise ValueError(f"unknown trace suffix {path.suffix!r} (use .jsonl or .bin)")
+    return _read_jsonl(path)
 
 
 # -- JSONL ---------------------------------------------------------------

@@ -58,6 +58,45 @@ def test_simulation_bit_stable(policy):
     assert ra.network.messages == rb.network.messages
 
 
+def test_reference_run_pinned():
+    """Absolute regression pin for the seeded reference run.
+
+    The DES fast path must not change what gets simulated: the event
+    count, predicted time, and message totals of this fixed workload are
+    pinned to the values produced by the pre-fast-path engine.  If this
+    test fails, the engine changed *behaviour*, not just speed.
+    """
+    from repro.sim.simulator import Simulator
+
+    tp = translate(measure(program, 8, name="d"))
+    sim = Simulator(tp, presets.distributed_memory())
+    res = sim.run()
+    assert sim.env.processed_event_count == 623
+    assert res.execution_time == pytest.approx(1956.6999999999998, abs=1e-9)
+    assert res.network.messages == 90
+    assert res.network.bytes == 7296
+
+
+def test_profiled_run_matches_reference():
+    """profile=True must not perturb the simulation itself."""
+    from repro.sim.simulator import Simulator
+
+    tp = translate(measure(program, 8, name="d"))
+    sim = Simulator(tp, presets.distributed_memory(), profile=True)
+    res = sim.run()
+    assert sim.env.processed_event_count == 623
+    assert res.execution_time == pytest.approx(1956.6999999999998, abs=1e-9)
+    assert res.profile is not None
+    assert res.profile.counters.events_total == 623
+    assert res.profile.counters.heap_peak >= 8
+    assert set(res.profile.timers.phases) == {
+        "spawn",
+        "replay",
+        "drain",
+        "collect",
+    }
+
+
 def test_machine_bit_stable():
     ra = run_on_machine(program, 4, name="d")
     rb = run_on_machine(program, 4, name="d")

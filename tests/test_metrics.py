@@ -44,6 +44,55 @@ def test_paper_processor_counts():
     assert tuple(PAPER_PROCESSOR_COUNTS) == (1, 2, 4, 8, 16, 32)
 
 
+def _degenerate_result(execution_time=0.0, n_processors=1):
+    """A SimulationResult with no real work behind it."""
+    from repro.sim.network import NetworkStats
+    from repro.sim.result import ProcessorStats, SimulationResult
+    from repro.trace.trace import TraceMeta
+
+    return SimulationResult(
+        meta=TraceMeta(n_threads=max(n_processors, 1)),
+        params=presets.distributed_memory(),
+        execution_time=execution_time,
+        processors=[ProcessorStats(pid=i) for i in range(n_processors)],
+        threads=[],
+        network=NetworkStats(),
+    )
+
+
+def test_metrics_from_result_is_derive_metrics():
+    from repro.metrics import metrics_from_result
+
+    assert metrics_from_result is derive_metrics
+
+
+def test_derive_metrics_guards_zero_execution_time():
+    """Regression: a zero-time result with a baseline used to raise
+    ZeroDivisionError; speedup/efficiency must come back as None."""
+    m = derive_metrics(_degenerate_result(execution_time=0.0), baseline_time=10.0)
+    assert m.speedup is None and m.efficiency is None
+    assert m.utilization == 0.0
+
+
+def test_derive_metrics_guards_negative_execution_time():
+    m = derive_metrics(_degenerate_result(execution_time=-5.0), baseline_time=10.0)
+    assert m.speedup is None and m.efficiency is None
+
+
+def test_derive_metrics_guards_no_processors():
+    m = derive_metrics(
+        _degenerate_result(execution_time=3.0, n_processors=0), baseline_time=10.0
+    )
+    assert m.speedup is None and m.efficiency is None
+    assert m.n_processors == 0
+    assert m.utilization == 0.0
+
+
+def test_derive_metrics_rejects_bad_baseline():
+    with pytest.raises(ValueError):
+        derive_metrics(_degenerate_result(execution_time=1.0), baseline_time=0.0)
+
+
 def test_derive_metrics_without_baseline():
     from repro.core.pipeline import measure_and_extrapolate
 

@@ -1,0 +1,49 @@
+"""Perf smoke: the engine must stay within 2x of the committed baseline.
+
+Runs the engine-throughput workloads at reduced scale and compares
+events/second against the committed ``BENCH_engine.json`` trajectory
+(regenerate with ``extrap bench -o BENCH_engine.json``).  Deselect with
+``-m "not perf"`` on constrained machines, or set
+``EXTRAP_SKIP_PERF=1``.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.perf.bench import load_baseline, run_benchmarks
+
+pytestmark = pytest.mark.perf
+
+BASELINE_PATH = Path(__file__).resolve().parents[1] / "BENCH_engine.json"
+
+#: Tolerated slowdown vs. the committed baseline.  Generous on purpose:
+#: the smoke test exists to catch engine-level regressions (an
+#: accidental O(n^2), a dropped fast path), not machine-to-machine noise.
+MAX_REGRESSION = 2.0
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    if os.environ.get("EXTRAP_SKIP_PERF") == "1":
+        pytest.skip("EXTRAP_SKIP_PERF=1")
+    if not BASELINE_PATH.exists():
+        pytest.skip(f"no committed baseline at {BASELINE_PATH}")
+    return load_baseline(BASELINE_PATH)
+
+
+def test_engine_throughput_no_regression(baseline):
+    results = run_benchmarks(scale=0.2, repeats=3)
+    failures = []
+    for name, current in results["workloads"].items():
+        ref = baseline["workloads"].get(name)
+        if ref is None or not ref.get("events_per_s"):
+            continue
+        rate, ref_rate = current["events_per_s"], ref["events_per_s"]
+        if rate < ref_rate / MAX_REGRESSION:
+            failures.append(
+                f"{name}: {rate:,.0f} events/s vs baseline "
+                f"{ref_rate:,.0f} ({ref_rate / rate:.2f}x slower)"
+            )
+    assert not failures, "engine throughput regressed:\n" + "\n".join(failures)

@@ -38,6 +38,42 @@ def test_unknown_suffix(tmp_path):
         read_trace(tmp_path / "t.xyz")
 
 
+def test_unknown_suffix_error_lists_supported_formats(tmp_path):
+    with pytest.raises(ValueError, match=r"\.jsonl.*\.bin"):
+        write_trace(sample_trace(), tmp_path / "t.xyz")
+    with pytest.raises(ValueError, match=r"\.jsonl.*\.bin"):
+        read_trace(tmp_path / "t.xyz")
+
+
+@pytest.mark.parametrize("suffix", [".JSONL", ".JsonL", ".BIN", ".Bin"])
+def test_suffix_case_insensitive(tmp_path, suffix):
+    """Regression: .JSONL / .Bin used to hit the unknown-suffix error."""
+    tr = sample_trace()
+    path = write_trace(tr, tmp_path / f"t{suffix}")
+    back = read_trace(path)
+    assert back.events == tr.events
+
+
+def test_streaming_writer_rejects_binary_with_guidance(tmp_path):
+    """Regression: handing TraceFileWriter a .bin path must fail with a
+    message pointing at write_trace, in any suffix case."""
+    from repro.trace.io import TraceFileWriter
+    from repro.trace.trace import TraceMeta
+
+    for name in ("t.bin", "t.BIN"):
+        with pytest.raises(ValueError, match="write_trace"):
+            TraceFileWriter(tmp_path / name, TraceMeta(n_threads=1))
+
+
+def test_streaming_writer_accepts_uppercase_jsonl(tmp_path):
+    from repro.trace.io import TraceFileWriter
+    from repro.trace.trace import TraceMeta
+
+    with TraceFileWriter(tmp_path / "t.JSONL", TraceMeta(n_threads=1)) as w:
+        pass
+    assert w.count == 0
+
+
 def test_binary_magic_check(tmp_path):
     p = tmp_path / "t.bin"
     p.write_bytes(b"NOPE" + b"\0" * 40)
