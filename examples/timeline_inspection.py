@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Record a simulation timeline and mine it three ways.
+
+One Grid prediction with ``observe=True`` yields a ``Timeline``: every
+processor's activity spans, point events, and on-state-change counter
+series.  This script renders it as an ASCII Gantt chart, derives
+utilization and queue-depth series from it, and writes the Chrome
+trace-event JSON you can open interactively at https://ui.perfetto.dev.
+
+Run:  python examples/timeline_inspection.py
+"""
+
+from repro import extrapolate, measure, presets
+from repro.bench.grid import GridConfig, make_program
+from repro.obs import (
+    ascii_gantt,
+    busy_fraction_series,
+    counter_points,
+    utilization_series,
+    write_chrome_trace,
+)
+
+OUT = "grid_timeline.json"
+
+
+def main():
+    n = 8
+    trace = measure(make_program(GridConfig())(n), n, name="grid")
+    outcome = extrapolate(trace, presets.distributed_memory(), observe=True)
+    tl = outcome.result.timeline
+
+    print(tl.summary())
+    print()
+
+    # 1. The Gantt view: who did what, when.
+    print(ascii_gantt(tl, width=64))
+    print()
+
+    # 2. Derived series: machine utilization and the busiest queue.
+    util = utilization_series(tl, n_buckets=8)["utilization"]
+    print("utilization by eighth of the run:")
+    print("  " + " ".join(f"{frac:4.0%}" for _, frac in util))
+    for proc in range(n):
+        frac = busy_fraction_series(tl, proc, n_buckets=1)[0][1]
+        bar = "#" * round(frac * 40)
+        print(f"  p{proc} busy {frac:5.1%} |{bar}")
+    peak = max(
+        (max(v for _, v in counter_points(tl, f"proc{p}.rxq_depth")), p)
+        for p in range(n)
+        if f"proc{p}.rxq_depth" in tl.counter_names()
+    )
+    print(f"deepest receive queue: {peak[0]:.0f} messages on p{peak[1]}")
+    print()
+
+    # 3. The interactive view.
+    write_chrome_trace(tl, OUT)
+    print(f"wrote {OUT} — open it at https://ui.perfetto.dev")
+
+
+if __name__ == "__main__":
+    main()

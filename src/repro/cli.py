@@ -5,17 +5,23 @@ Subcommands::
     extrap list                      # benchmarks, presets, experiments
     extrap trace  <bench> -n 8 -o t.jsonl [--size-mode actual]
     extrap predict <trace> --preset cm5 [--set processor.mips_ratio=0.5]
+    extrap predict <trace> --timeline run.json   # record the simulation
+    extrap timeline run.json --ascii             # render / convert it
     extrap report  <trace> --preset cm5      # full debugging report
     extrap study  <bench> --preset distributed_memory -p 1,2,4,8,16,32
     extrap machine <bench> -n 8              # reference CM-5 direct run
     extrap experiment fig4 [--paper]
     extrap bench [-o BENCH_engine.json]      # engine perf trajectory
+
+Global flags: ``-v``/``-vv`` or ``--log-level LEVEL`` control status
+chatter on stderr (primary artifacts always go to stdout).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Any, Dict, List
 
 from repro.bench.suite import BENCHMARKS, get_benchmark
@@ -25,6 +31,29 @@ from repro.core.pipeline import extrapolate, measure
 from repro.experiments.runner import EXPERIMENTS, run_experiment
 from repro.metrics.scaling import run_scaling_study
 from repro.trace import read_trace, write_trace
+from repro.util.log import get_logger, level_from_verbosity, setup_logging
+
+log = get_logger("cli")
+
+#: exit code for missing/unreadable input files (argparse uses 2 for
+#: usage errors; we match it — the shell convention for "bad invocation")
+EXIT_INPUT_ERROR = 2
+
+
+def _input_error(msg: str) -> int:
+    """One-line error on stderr, nonzero exit — never a traceback."""
+    print(f"extrap: error: {msg}", file=sys.stderr)
+    return EXIT_INPUT_ERROR
+
+
+def _require_file(path: str, what: str = "input file") -> str | None:
+    """Error message if ``path`` is not an existing file, else None."""
+    p = Path(path)
+    if not p.exists():
+        return f"{what} not found: {path}"
+    if p.is_dir():
+        return f"{what} is a directory: {path}"
+    return None
 
 
 def _parse_counts(spec: str) -> List[int]:
@@ -77,24 +106,39 @@ def cmd_list(_args) -> int:
 def cmd_trace(args) -> int:
     info = get_benchmark(args.benchmark)
     maker = info.make_program()
+    log.info("measuring %s with %d threads", args.benchmark, args.n)
     trace = measure(
         maker(args.n), args.n, name=args.benchmark, size_mode=args.size_mode
     )
-    path = write_trace(trace, args.output)
+    try:
+        path = write_trace(trace, args.output)
+    except OSError as exc:
+        return _input_error(f"cannot write trace to {args.output}: {exc}")
     print(f"wrote {len(trace)} events for {args.n} threads to {path}")
     if trace.race_findings:
-        print(
-            f"WARNING: {len(trace.race_findings)} same-epoch read/write "
-            "conflicts — extrapolation may not be valid for this program "
-            "(see repro.pcxx.races)"
+        log.warning(
+            "%d same-epoch read/write conflicts — extrapolation may not "
+            "be valid for this program (see repro.pcxx.races)",
+            len(trace.race_findings),
         )
     return 0
 
 
 def cmd_predict(args) -> int:
+    problem = _require_file(args.trace, "trace file")
+    if problem:
+        return _input_error(problem)
     trace = read_trace(args.trace)
     params = _apply_overrides(presets.by_name(args.preset), args.set or [])
-    outcome = extrapolate(trace, params, profile=args.profile)
+    log.info(
+        "extrapolating %s to %s", args.trace, params.name or args.preset
+    )
+    outcome = extrapolate(
+        trace,
+        params,
+        profile=args.profile,
+        observe=args.timeline is not None,
+    )
     print(params.describe())
     print(f"measured trace: {outcome.trace_stats.summary()}")
     print(f"ideal execution time:     {outcome.ideal_time:12.1f} us")
@@ -104,12 +148,78 @@ def cmd_predict(args) -> int:
         from repro.metrics.report import profile_section
 
         print(profile_section(outcome.result))
+    if args.timeline is not None:
+        from repro.obs.export import write_chrome_trace
+
+        try:
+            path = write_chrome_trace(outcome.result.timeline, args.timeline)
+        except OSError as exc:
+            return _input_error(
+                f"cannot write timeline to {args.timeline}: {exc}"
+            )
+        print(f"wrote timeline to {path} (view at https://ui.perfetto.dev)")
+    return 0
+
+
+def cmd_timeline(args) -> int:
+    from repro.obs.export import load_chrome_trace, write_counters_csv
+    from repro.obs.gantt import ascii_gantt
+
+    problem = _require_file(args.timeline, "timeline file")
+    if problem:
+        return _input_error(problem)
+    try:
+        timeline = load_chrome_trace(args.timeline)
+    except ValueError as exc:
+        return _input_error(str(exc))
+    did_something = False
+    if args.ascii:
+        print(ascii_gantt(timeline, width=args.width))
+        did_something = True
+    if args.counter:
+        from repro.obs.samplers import counter_points
+        from repro.util.asciiplot import ascii_series_plot
+
+        try:
+            pts = counter_points(timeline, args.counter, max_points=256)
+        except KeyError as exc:
+            return _input_error(exc.args[0])
+        print(
+            ascii_series_plot(
+                {args.counter: pts},
+                title=f"{args.counter} over simulated time",
+                xlabel="t (us)",
+                ylabel=args.counter,
+            )
+        )
+        did_something = True
+    if args.csv:
+        try:
+            path = write_counters_csv(timeline, args.csv)
+        except OSError as exc:
+            return _input_error(f"cannot write CSV to {args.csv}: {exc}")
+        print(f"wrote counter CSV to {path}")
+        did_something = True
+    if args.output:
+        from repro.obs.export import write_chrome_trace
+
+        try:
+            path = write_chrome_trace(timeline, args.output)
+        except OSError as exc:
+            return _input_error(f"cannot write timeline to {args.output}: {exc}")
+        print(f"wrote normalized timeline to {path}")
+        did_something = True
+    if not did_something:
+        print(timeline.summary())
     return 0
 
 
 def cmd_report(args) -> int:
     from repro.metrics.report import full_report
 
+    problem = _require_file(args.trace, "trace file")
+    if problem:
+        return _input_error(problem)
     trace = read_trace(args.trace)
     params = _apply_overrides(presets.by_name(args.preset), args.set or [])
     outcome = extrapolate(trace, params, profile=args.profile)
@@ -130,14 +240,17 @@ def cmd_bench(args) -> int:
     try:
         baseline = load_baseline(args.baseline)
     except FileNotFoundError:
-        # The default baseline is optional; an explicit one must exist.
-        if args.baseline != "BENCH_engine.json":
-            print(f"warning: baseline {args.baseline} not found", file=sys.stderr)
+        # The default baseline is optional; an explicit one must exist
+        # (and --update-baseline is about to create it either way).
+        if args.baseline != "BENCH_engine.json" or args.update_baseline:
+            log.warning("baseline %s not found", args.baseline)
     except ValueError as exc:
-        print(f"warning: ignoring baseline {args.baseline}: {exc}", file=sys.stderr)
+        log.warning("ignoring baseline %s: %s", args.baseline, exc)
     print(format_results(results, baseline))
     if args.output:
         print(f"wrote {write_baseline(results, args.output)}")
+    if args.update_baseline:
+        print(f"wrote {write_baseline(results, args.baseline)}")
     return 0
 
 
@@ -162,6 +275,9 @@ def cmd_compare(args) -> int:
     from repro.metrics import derive_metrics
     from repro.util.tables import format_table
 
+    problem = _require_file(args.trace, "trace file")
+    if problem:
+        return _input_error(problem)
     trace = read_trace(args.trace)
     rows = []
     base_time = None
@@ -251,6 +367,19 @@ def build_parser() -> argparse.ArgumentParser:
         prog="extrap",
         description="Performance extrapolation of parallel programs (ICPP'95 reproduction)",
     )
+    ap.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="more status chatter on stderr (-v info, -vv debug)",
+    )
+    ap.add_argument(
+        "--log-level",
+        default=None,
+        choices=("debug", "info", "warning", "error"),
+        help="explicit log level (overrides -v)",
+    )
     sub = ap.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list benchmarks, presets and experiments")
@@ -277,6 +406,46 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="collect and print engine counters / phase timers",
     )
+    p.add_argument(
+        "--timeline",
+        default=None,
+        metavar="PATH",
+        help="record the simulated execution and write a Perfetto-loadable "
+        "Chrome trace-event JSON here (explore with 'extrap timeline')",
+    )
+
+    tl = sub.add_parser(
+        "timeline",
+        help="render or convert a timeline recorded by 'predict --timeline'",
+    )
+    tl.add_argument(
+        "timeline", help="Chrome trace-event JSON from 'extrap predict --timeline'"
+    )
+    tl.add_argument(
+        "--ascii",
+        action="store_true",
+        help="render a per-processor Gantt chart in the terminal",
+    )
+    tl.add_argument("--width", type=int, default=72, help="Gantt width in cells")
+    tl.add_argument(
+        "--counter",
+        default=None,
+        metavar="NAME",
+        help="ASCII-plot one counter series (e.g. net.in_flight)",
+    )
+    tl.add_argument(
+        "--csv",
+        default=None,
+        metavar="PATH",
+        help="write all counter series to a CSV file",
+    )
+    tl.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="re-export normalized Chrome trace-event JSON here",
+    )
 
     r = sub.add_parser("report", help="full debugging report for a trace")
     r.add_argument("trace", help="trace file from 'extrap trace'")
@@ -298,6 +467,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--baseline",
         default="BENCH_engine.json",
         help="baseline to compare against (if present)",
+    )
+    b.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline file in place with this run's results",
     )
 
     m = sub.add_parser("machine", help="run a benchmark on the reference CM-5")
@@ -352,10 +526,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: List[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    setup_logging(args.log_level or level_from_verbosity(args.verbose))
     handlers = {
         "list": cmd_list,
         "trace": cmd_trace,
         "predict": cmd_predict,
+        "timeline": cmd_timeline,
         "report": cmd_report,
         "bench": cmd_bench,
         "machine": cmd_machine,

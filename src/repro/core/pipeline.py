@@ -91,6 +91,7 @@ def extrapolate(
     *,
     compensate_overhead: float = 0.0,
     profile: bool = False,
+    observe: bool = False,
 ) -> ExtrapolationOutcome:
     """Translate a measured trace and simulate it in environment ``params``.
 
@@ -106,9 +107,13 @@ def extrapolate(
         Collect engine counters and phase timers on the simulation; the
         outcome's ``result.profile`` carries them (slower run, identical
         simulation results).
+    observe:
+        Record an event-level timeline of the simulated execution; the
+        outcome's ``result.timeline`` carries it (see :mod:`repro.obs`;
+        identical simulation results).
     """
     translated = translate(trace, event_overhead=compensate_overhead)
-    result = simulate(translated, params, profile=profile)
+    result = simulate(translated, params, profile=profile, observe=observe)
     return ExtrapolationOutcome(
         trace=trace,
         trace_stats=compute_stats(trace),

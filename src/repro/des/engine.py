@@ -57,6 +57,14 @@ class Environment:
         self._active: Optional[Process] = None
         self._event_count = 0
         self._profile: Optional[EngineCounters] = None
+        #: Observability hook slot (see :mod:`repro.obs`).  A simulator
+        #: that wants a recorded timeline attaches its
+        #: :class:`~repro.obs.recorder.TimelineRecorder` here *before*
+        #: building its model components; each component captures the
+        #: slot at construction and guards every hook call with a single
+        #: ``is None`` test.  The engine itself never touches it, so the
+        #: event loop pays nothing for the feature.
+        self.obs: Optional[Any] = None
 
     # -- introspection ------------------------------------------------------
 

@@ -13,6 +13,9 @@ from typing import Dict, List, Sequence
 
 from repro.experiments import tables
 from repro.experiments.runner import EXPERIMENTS, run_experiment
+from repro.util.log import get_logger
+
+log = get_logger("experiments.reproduce")
 
 
 def reproduce(
@@ -49,8 +52,9 @@ def reproduce(
         "|---|---|---|---|",
         "| tables 1-3 | ok | - | [tables.txt](tables.txt) |",
     ]
-    for name in names:
+    for i, name in enumerate(names, 1):
         path = out / f"{name}.txt"
+        log.info("[%d/%d] running %s", i, len(names), name)
         t0 = time.perf_counter()
         try:
             result = run_experiment(name, quick=quick)
@@ -60,7 +64,9 @@ def reproduce(
         except Exception as exc:  # record, keep going
             path.write_text(f"FAILED: {exc!r}\n", encoding="utf-8")
             status = f"FAILED ({type(exc).__name__})"
+            log.warning("%s failed: %r", name, exc)
         elapsed = time.perf_counter() - t0
+        log.info("[%d/%d] %s: %s in %.1f s", i, len(names), name, status, elapsed)
         index_rows.append(
             f"| {name} | {status} | {elapsed:.1f} | [{path.name}]({path.name}) |"
         )

@@ -16,6 +16,9 @@ from repro.experiments import (
     validation,
 )
 from repro.experiments.base import ExperimentResult
+from repro.util.log import get_logger
+
+log = get_logger("experiments")
 
 #: name -> callable(quick=...) returning an ExperimentResult
 EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
@@ -45,4 +48,5 @@ def run_experiment(name: str, *, quick: bool = True, **kwargs) -> ExperimentResu
         raise ValueError(
             f"unknown experiment {name!r}; available: {sorted(EXPERIMENTS)}"
         ) from None
+    log.debug("running experiment %s (quick=%s)", name, quick)
     return fn(quick=quick, **kwargs)

@@ -1,0 +1,216 @@
+"""Timeline exporters: Chrome trace-event JSON, counter CSV.
+
+The JSON export follows the Chrome trace-event format (the JSON array
+flavour under a ``traceEvents`` key) so a recorded timeline drops
+straight into `Perfetto <https://ui.perfetto.dev>`_ or
+``chrome://tracing``:
+
+* one track per simulated processor (``pid``/``tid`` = processor id),
+  with complete spans (``ph: "X"``) named and categorised by the
+  busy/wait category — Perfetto colours by name, so the categories of
+  :data:`repro.sim.result.CATEGORIES` come out visually distinct;
+* instant events (``ph: "i"``, thread scope) for marks, remote-access
+  issues and barrier releases;
+* counter events (``ph: "C"``) for the sampled series.  Per-processor
+  counters (``procN.*``) attach to that processor's track; global
+  series (network, barriers) attach to a pseudo-process with
+  ``pid = n_procs``.
+
+Timestamps are simulation microseconds, which is exactly the ``ts``
+unit the format specifies — no conversion needed.
+
+Exports are **deterministic**: events are fully sorted, keys are
+sorted, and no wall-clock or platform information is embedded, so the
+same simulation (same seed, same parameters) produces a byte-identical
+file.  :func:`load_chrome_trace` reads the format back into a
+:class:`~repro.obs.recorder.Timeline`, making the JSON file the
+interchange format between ``extrap predict --timeline`` and
+``extrap timeline``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List
+
+from repro.obs.recorder import CounterSeries, Instant, Span, Timeline
+
+#: bumped when the exported structure changes incompatibly
+SCHEMA_VERSION = 1
+
+#: pseudo-pid offset for series not owned by one processor
+_GLOBAL_TRACK = "global"
+
+
+def _counter_pid(name: str, n_procs: int) -> int:
+    """Track assignment for a counter: ``procN.*`` series ride on
+    processor ``N``; everything else goes to the global pseudo-process."""
+    if name.startswith("proc"):
+        head = name[4:].split(".", 1)[0]
+        if head.isdigit():
+            return int(head)
+    return n_procs
+
+
+def to_chrome_trace(timeline: Timeline) -> dict:
+    """Render a timeline as a Chrome trace-event JSON object."""
+    events: List[dict] = []
+    for s in timeline.spans:
+        events.append(
+            {
+                "name": s.category,
+                "cat": s.category,
+                "ph": "X",
+                "pid": s.proc,
+                "tid": s.proc,
+                "ts": s.t0,
+                "dur": s.duration,
+            }
+        )
+    for i in timeline.instants:
+        ev = {
+            "name": i.name,
+            "ph": "i",
+            "s": "t",
+            "pid": i.proc,
+            "tid": i.proc,
+            "ts": i.t,
+        }
+        if i.args:
+            ev["args"] = i.args_dict()
+        events.append(ev)
+    for name, series in timeline.counters.items():
+        pid = _counter_pid(name, timeline.n_procs)
+        for t, value in series.samples:
+            events.append(
+                {
+                    "name": name,
+                    "ph": "C",
+                    "pid": pid,
+                    "tid": 0,
+                    "ts": t,
+                    "args": {"value": value},
+                }
+            )
+    events.sort(
+        key=lambda e: (e["ts"], e["pid"], e["tid"], e["ph"], e["name"])
+    )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "schema": SCHEMA_VERSION,
+            "program": timeline.program,
+            "params": timeline.params_name,
+            "n_processors": timeline.n_procs,
+            "end_time_us": timeline.end_time,
+        },
+    }
+
+
+def chrome_trace_json(timeline: Timeline) -> str:
+    """The deterministic serialised form of :func:`to_chrome_trace`."""
+    return (
+        json.dumps(
+            to_chrome_trace(timeline), sort_keys=True, separators=(",", ":")
+        )
+        + "\n"
+    )
+
+
+def write_chrome_trace(timeline: Timeline, path: str | Path) -> Path:
+    """Write the Perfetto-loadable JSON export to ``path``."""
+    path = Path(path)
+    path.write_text(chrome_trace_json(timeline), encoding="utf-8")
+    return path
+
+
+def load_chrome_trace(path: str | Path) -> Timeline:
+    """Read a file written by :func:`write_chrome_trace` back into a
+    :class:`~repro.obs.recorder.Timeline`."""
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path}: not valid JSON ({exc})") from None
+    if not isinstance(data, dict) or "traceEvents" not in data:
+        raise ValueError(
+            f"{path}: not a Chrome trace-event file (no traceEvents key)"
+        )
+    other = data.get("otherData", {})
+    schema = other.get("schema")
+    if schema is not None and schema != SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: unsupported timeline schema {schema!r} "
+            f"(expected {SCHEMA_VERSION})"
+        )
+    spans: List[Span] = []
+    instants: List[Instant] = []
+    counters: Dict[str, CounterSeries] = {}
+    max_pid = -1
+    for ev in data["traceEvents"]:
+        ph = ev.get("ph")
+        if ph == "X":
+            spans.append(
+                Span(
+                    proc=int(ev["pid"]),
+                    category=ev["name"],
+                    t0=ev["ts"],
+                    t1=ev["ts"] + ev.get("dur", 0),
+                )
+            )
+            max_pid = max(max_pid, int(ev["pid"]))
+        elif ph == "i":
+            instants.append(
+                Instant(
+                    proc=int(ev["pid"]),
+                    name=ev["name"],
+                    t=ev["ts"],
+                    args=tuple(sorted(ev.get("args", {}).items())),
+                )
+            )
+            max_pid = max(max_pid, int(ev["pid"]))
+        elif ph == "C":
+            name = ev["name"]
+            series = counters.get(name)
+            if series is None:
+                series = counters[name] = CounterSeries(name)
+            # Keep JSON-native number types (int vs float) so a loaded
+            # timeline re-exports byte-identically.
+            series.samples.append(
+                (ev["ts"], ev.get("args", {}).get("value", 0))
+            )
+        # Unknown phases are ignored: other tools may add metadata.
+    n_procs = other.get("n_processors", max_pid + 1)
+    end_time = other.get(
+        "end_time_us", max((s.t1 for s in spans), default=0.0)
+    )
+    return Timeline(
+        n_procs=int(n_procs),
+        end_time=float(end_time),
+        program=other.get("program", ""),
+        params_name=other.get("params", ""),
+        spans=sorted(spans, key=lambda s: (s.proc, s.t0, s.t1, s.category)),
+        instants=sorted(instants, key=lambda i: (i.t, i.proc, i.name)),
+        counters={name: counters[name] for name in sorted(counters)},
+    )
+
+
+# -- CSV -----------------------------------------------------------------
+
+
+def counters_csv(timeline: Timeline) -> str:
+    """Counter series as long-format CSV: ``counter,t_us,value``."""
+    lines = ["counter,t_us,value"]
+    for name, series in timeline.counters.items():
+        for t, value in series.samples:
+            lines.append(f"{name},{t:g},{value:g}")
+    return "\n".join(lines) + "\n"
+
+
+def write_counters_csv(timeline: Timeline, path: str | Path) -> Path:
+    """Write :func:`counters_csv` to ``path``."""
+    path = Path(path)
+    path.write_text(counters_csv(timeline), encoding="utf-8")
+    return path

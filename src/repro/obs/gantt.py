@@ -1,0 +1,82 @@
+"""ASCII Gantt rendering of a recorded timeline.
+
+A terminal-resolution view of the same data the Perfetto export
+carries: one lane per simulated processor, category-coded cells, waits
+painted under busy work so a cell always shows the most specific thing
+the processor was doing at that instant.  Built on
+:func:`repro.util.asciiplot.ascii_lanes`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.obs.recorder import Timeline
+from repro.util.asciiplot import ascii_lanes
+
+#: category -> (mark, paint priority); higher priority wins a cell.
+#: Waits are low priority: busy spans recorded *during* a wait episode
+#: (servicing remote requests, barrier overhead) overpaint it.
+CATEGORY_MARKS: Dict[str, tuple] = {
+    "comm_wait": ("w", 1),
+    "barrier_wait": ("B", 1),
+    "compute": ("=", 2),
+    "comm_overhead": ("c", 2),
+    "service": ("s", 2),
+    "barrier_overhead": ("b", 2),
+    "interrupt_overhead": ("i", 2),
+    "poll_overhead": ("p", 2),
+}
+
+#: mark for categories this module does not know (custom hooks)
+_OTHER_MARK = ("?", 2)
+
+#: idle / after-end filler
+_IDLE = "."
+
+
+def ascii_gantt(timeline: Timeline, *, width: int = 72) -> str:
+    """Render a per-processor Gantt chart of ``timeline``.
+
+    Each lane covers ``[0, end_time]`` in ``width`` cells.  A cell takes
+    the mark of the highest-priority category overlapping it (latest
+    span wins ties, matching the nesting order of the recording); cells
+    nothing overlaps stay idle (``.``).
+    """
+    if width < 8:
+        raise ValueError(f"width must be >= 8, got {width}")
+    end = timeline.end_time
+    if timeline.n_procs == 0 or end <= 0:
+        return "(empty timeline)"
+
+    def col(t: float) -> int:
+        return max(0, min(width - 1, int(t / end * width)))
+
+    lanes = []
+    seen_marks: Dict[str, str] = {}
+    for proc in range(timeline.n_procs):
+        cells: List[str] = [_IDLE] * width
+        prio: List[int] = [0] * width
+        for s in timeline.spans:
+            if s.proc != proc:
+                continue
+            mark, p = CATEGORY_MARKS.get(s.category, _OTHER_MARK)
+            seen_marks.setdefault(mark, s.category)
+            for c in range(col(s.t0), col(s.t1) + 1):
+                if p >= prio[c]:
+                    cells[c] = mark
+                    prio[c] = p
+        lanes.append((f"p{proc}", "".join(cells)))
+
+    legend = {mark: seen_marks[mark] for mark in sorted(seen_marks)}
+    legend[_IDLE] = "idle"
+    return ascii_lanes(
+        lanes,
+        title=(
+            f"timeline gantt: {timeline.program or 'program'} on "
+            f"{timeline.n_procs} processors "
+            f"({timeline.params_name or 'unknown params'})"
+        ),
+        footer=f"0 .. {end:.1f} us",
+        legend=legend,
+    )

@@ -76,6 +76,14 @@ class BarrierCoordinator:
         self._episodes: Dict[int, _Episode] = {}
         #: completed episodes: barrier_id -> (last arrival time, release time)
         self.history: Dict[int, tuple] = {}
+        #: timeline recorder, or None when observation is off
+        self._obs = env.obs
+
+    def _obs_release(self, bid: int) -> None:
+        """Record a barrier release (observation is on)."""
+        now = self.env.now
+        self._obs.instant(self.MASTER, "barrier_release", now, barrier_id=bid)
+        self._obs.counter("barriers.released", now, len(self.history))
 
     # -- state access -------------------------------------------------------
 
@@ -171,6 +179,8 @@ class BarrierCoordinator:
                     )
                 )
             self.history[bid] = (self.history[bid][0], self.env.now)
+            if self._obs is not None:
+                self._obs_release(bid)
         else:
             proc._send_raw(
                 Message(
@@ -208,6 +218,8 @@ class BarrierCoordinator:
         else:
             self.history[bid] = (self.env.now, self.env.now)
             yield from proc._busy(b.model_time, _BARRIER_CAT)
+            if self._obs is not None:
+                self._obs_release(bid)
         for child in children:
             proc._send_raw(
                 Message(
@@ -236,6 +248,8 @@ class BarrierCoordinator:
             if not ep.released.triggered:
                 ep.released.succeed()
             self.history[bid] = (self.history[bid][0], self.env.now)
+            if self._obs is not None:
+                self._obs_release(bid)
         else:
             yield from proc._await_serving(ep.released)
             yield from proc._busy(b.exit_check_time, _BARRIER_CAT)
@@ -254,6 +268,8 @@ class BarrierCoordinator:
             def fire(_ev, release=release):
                 if not release.triggered:
                     release.succeed()
+                    if self._obs is not None:
+                        self._obs_release(bid)
 
             self.env.timeout(b.model_time).callbacks.append(fire)
         yield from proc._await_serving(ep.released)

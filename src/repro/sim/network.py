@@ -89,6 +89,9 @@ class Network:
         self.placement = list(placement)
         self._in_flight = 0
         self.stats = NetworkStats()
+        #: timeline recorder, or None when observation is off; sampled on
+        #: state change (inject/deliver), never on a clock
+        self._obs = env.obs
         #: optional message log for network-level debugging: tuples of
         #: (inject_time, deliver_time, kind, src, dst, nbytes)
         self.record_messages = record_messages
@@ -169,6 +172,10 @@ class Network:
                     msg.nbytes,
                 )
             )
+        if self._obs is not None:
+            now = self.env.now
+            self._obs.counter("net.in_flight", now, self._in_flight)
+            self._obs.counter("net.bytes_total", now, self.stats.bytes)
 
         deliver = self.env.timeout(transit, msg)
         deliver.callbacks.append(self._deliver)
@@ -177,4 +184,6 @@ class Network:
     def _deliver(self, ev) -> None:
         msg: Message = ev.value
         self._in_flight -= 1
+        if self._obs is not None:
+            self._obs.counter("net.in_flight", self.env.now, self._in_flight)
         self._inboxes[msg.dst](msg)

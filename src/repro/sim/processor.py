@@ -71,22 +71,41 @@ class SimProcessor:
         self._stats_add = self.stats.add
         self._mips_ratio = self.pp.mips_ratio
         self._policy = self.pp.policy
+        #: timeline recorder, or None when observation is off (the only
+        #: cost every hook site pays then is one ``is None`` test)
+        self._obs = env.obs
+        self._rxq_counter = f"proc{pid}.rxq_depth"
 
     # -- delivery hook for the network --------------------------------------------
 
     def deliver(self, msg: Message) -> None:
         self.inbox.put(msg)
+        if self._obs is not None:
+            self._obs.counter(
+                self._rxq_counter, self.env.now, len(self.inbox.items)
+            )
 
     # -- bookkeeping ----------------------------------------------------------
 
     def _record(self, kind: EventKind, **kw) -> None:
         self.out_events.append(TraceEvent(self.env.now, self.pid, kind, **kw))
 
+    def _obs_span(self, category: str, t0: float) -> None:
+        """Record a closed busy span ending now (observation is on)."""
+        now = self.env.now
+        self._obs.span(self.pid, category, t0, now)
+        self._obs.counter(
+            f"proc{self.pid}.busy_us", now, self.stats.busy_total
+        )
+
     def _busy(self, duration: float, category: str) -> Generator:
         """Spend ``duration`` busy, attributed to ``category``."""
         if duration > 0:
+            t0 = self.env.now
             yield self._timeout(duration)
             self._stats_add(category, duration)
+            if self._obs is not None:
+                self._obs_span(category, t0)
 
     # -- the replay driver ----------------------------------------------------
 
@@ -108,14 +127,24 @@ class SimProcessor:
                     self.stats.busy_total - busy0
                 )
                 self._record(EventKind.BARRIER_EXIT, barrier_id=action.barrier_id)
+                if self._obs is not None:
+                    # The whole episode (enter..exit); busy spans recorded
+                    # while servicing requests inside it nest within.
+                    self._obs.span(self.pid, "barrier_wait", t0, self.env.now)
             elif action.kind is ActionKind.MARK:
                 self._record(EventKind.MARK, tag=action.label)
+                if self._obs is not None:
+                    self._obs.instant(
+                        self.pid, "mark", self.env.now, tag=action.label
+                    )
             elif action.kind is ActionKind.END:
                 break
             else:  # pragma: no cover - exhaustive
                 raise AssertionError(f"unhandled action {action}")
         self._record(EventKind.THREAD_END)
         self.stats.end_time = self.env.now
+        if self._obs is not None:
+            self._obs.instant(self.pid, "thread_end", self.env.now)
         self.done.succeed(self.env.now)
         # Keep serving remote requests for threads that are still running.
         while True:
@@ -131,8 +160,11 @@ class SimProcessor:
             # Inlined _busy("compute"): this is the dominant action kind,
             # so skip the nested generator for it.
             if scaled > 0:
+                t0 = self.env.now
                 yield self._timeout(scaled)
                 self._stats_add("compute", scaled)
+                if self._obs is not None:
+                    self._obs_span("compute", t0)
         elif policy is RemoteServicePolicy.INTERRUPT:
             yield from self._compute_interrupt(scaled)
         elif policy is RemoteServicePolicy.POLL:
@@ -160,6 +192,8 @@ class SimProcessor:
             yield AnyOf(self.env, [finish, get_ev])
             remaining -= self.env.now - start
             self._stats_add("compute", self.env.now - start)
+            if self._obs is not None and self.env.now > start:
+                self._obs_span("compute", start)
             if get_ev.triggered:
                 msg = get_ev.value
                 yield from self._busy(self.pp.interrupt_overhead, "interrupt_overhead")
@@ -190,6 +224,14 @@ class SimProcessor:
             )
         kind = EventKind.REMOTE_WRITE if write else EventKind.REMOTE_READ
         self._record(kind, owner=owner, nbytes=action.nbytes, collection=action.label)
+        if self._obs is not None:
+            self._obs.instant(
+                self.pid,
+                "remote_write" if write else "remote_read",
+                self.env.now,
+                owner=owner,
+                nbytes=action.nbytes,
+            )
         mid = next(self._msg_ids)
         reply_ev = Event(self.env)
         self.pending_replies[mid] = reply_ev
@@ -218,6 +260,10 @@ class SimProcessor:
         yield from self._await_serving(reply_ev)
         self.stats.comm_wait += (self.env.now - t0) - (self.stats.busy_total - busy0)
         self.stats.remote_accesses += 1
+        if self._obs is not None:
+            # The whole reply-wait episode; nested busy spans are the
+            # requests serviced while blocked.
+            self._obs.span(self.pid, "comm_wait", t0, self.env.now)
 
     def _send(self, msg: Message, category: str) -> Generator:
         """Build and inject a message (sender-side busy costs)."""
@@ -247,6 +293,10 @@ class SimProcessor:
     def _dispatch(self, msg: Message) -> Generator:
         """Handle one received message (runs in this processor's context)."""
         self.stats.messages_received += 1
+        if self._obs is not None:
+            self._obs.counter(
+                self._rxq_counter, self.env.now, len(self.inbox.items)
+            )
         if msg.kind is MsgKind.REQUEST:
             yield from self._busy(self.pp.request_service_time, "service")
             self.stats.requests_served += 1

@@ -15,6 +15,7 @@ from repro.trace.trace import ThreadTrace, TraceMeta
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.parameters import SimulationParameters
+    from repro.obs.recorder import Timeline
     from repro.perf import SimulationProfile
     from repro.sim.network import NetworkStats
 
@@ -99,6 +100,9 @@ class SimulationResult:
     #: engine counters + phase timers; set when the simulator ran with
     #: ``profile=True`` (see :class:`repro.perf.SimulationProfile`)
     profile: Optional["SimulationProfile"] = None
+    #: recorded timeline of the simulated execution; set when the
+    #: simulator ran with ``observe=True`` (see :mod:`repro.obs`)
+    timeline: Optional["Timeline"] = None
 
     @property
     def n_processors(self) -> int:

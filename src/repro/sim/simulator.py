@@ -9,6 +9,7 @@ from typing import List, Optional
 from repro.core.parameters import SimulationParameters
 from repro.core.translation import TranslatedProgram
 from repro.des import Deadlock, Environment
+from repro.obs.recorder import TimelineRecorder
 from repro.perf import PhaseTimer, SimulationProfile
 from repro.sim.actions import actions_from_thread_trace
 from repro.sim.barrier import BarrierCoordinator
@@ -36,6 +37,7 @@ class Simulator:
         network_factory=None,
         placement=None,
         profile: bool = False,
+        observe: bool = False,
     ):
         """``network_factory(env, n, network_params) -> Network`` lets
         callers substitute a different interconnect model (e.g.
@@ -48,6 +50,14 @@ class Simulator:
         the result carries a :class:`~repro.perf.SimulationProfile`.
         Profiled runs produce identical simulation results but run on
         the engine's slower instrumented loop.
+
+        ``observe=True`` records an event-level timeline of the simulated
+        execution (spans, instants, counter series — see
+        :mod:`repro.obs`); the result carries it as
+        ``SimulationResult.timeline``.  The recorder attaches to
+        ``env.obs`` before the model components are built, so custom
+        network factories inherit observation for free.  Simulation
+        results are identical with it on or off.
         """
         if translated.n_threads < 1:
             raise ValueError("translated program has no threads")
@@ -57,6 +67,10 @@ class Simulator:
         n = translated.n_threads
 
         self.env = Environment()
+        self.recorder: Optional[TimelineRecorder] = None
+        if observe:
+            self.recorder = TimelineRecorder()
+            self.env.obs = self.recorder
         self.profile: Optional[SimulationProfile] = None
         if profile:
             self.profile = SimulationProfile(
@@ -152,14 +166,24 @@ class Simulator:
         threads = [
             ThreadTrace(p.pid, p.out_events) for p in self.processors
         ]
+        execution_time = max(p.stats.end_time for p in self.processors)
+        timeline = None
+        if self.recorder is not None:
+            timeline = self.recorder.finalize(
+                n_procs=len(self.processors),
+                end_time=execution_time,
+                program=self.translated.meta.program or "",
+                params_name=self.params.name,
+            )
         return SimulationResult(
             meta=self.translated.meta,
             params=self.params,
-            execution_time=max(p.stats.end_time for p in self.processors),
+            execution_time=execution_time,
             processors=[p.stats for p in self.processors],
             threads=threads,
             network=self.network.stats,
             barrier_count=len(self.coordinator.history),
+            timeline=timeline,
         )
 
 
@@ -170,6 +194,7 @@ def simulate(
     max_events: Optional[int] = None,
     placement=None,
     profile: bool = False,
+    observe: bool = False,
 ) -> SimulationResult:
     """One-call convenience wrapper around :class:`Simulator`."""
     kwargs = {}
@@ -179,4 +204,6 @@ def simulate(
         kwargs["placement"] = placement
     if profile:
         kwargs["profile"] = True
+    if observe:
+        kwargs["observe"] = True
     return Simulator(translated, params, **kwargs).run()

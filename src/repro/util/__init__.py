@@ -14,11 +14,15 @@ from repro.util.units import (
     us_to_ms,
     us_to_s,
 )
+from repro.util.log import get_logger, setup_logging
 from repro.util.rng import make_rng, spawn_rngs
 from repro.util.tables import format_table
-from repro.util.asciiplot import ascii_series_plot
+from repro.util.asciiplot import ascii_lanes, ascii_series_plot
 
 __all__ = [
+    "ascii_lanes",
+    "get_logger",
+    "setup_logging",
     "MICROSECONDS_PER_SECOND",
     "bytes_per_us_to_mbytes_per_s",
     "mbytes_per_s_to_us_per_byte",

@@ -10,9 +10,45 @@ available offline.
 from __future__ import annotations
 
 import math
-from typing import Mapping, Sequence
+from typing import Mapping, Sequence, Tuple
 
 _MARKS = "ox+*#@%&"
+
+
+def ascii_lanes(
+    lanes: Sequence[Tuple[str, str]],
+    *,
+    title: str | None = None,
+    legend: Mapping[str, str] | None = None,
+    footer: str | None = None,
+) -> str:
+    """Frame pre-rendered character lanes into a labelled chart.
+
+    ``lanes`` is a sequence of ``(label, cells)`` pairs; every ``cells``
+    string must have the same width.  This is the shared chassis for
+    Gantt-style charts (one lane per processor/thread): callers paint
+    the cells, this function adds labels, borders, an optional legend
+    (``mark -> meaning``) and footer line.
+    """
+    if not lanes:
+        raise ValueError("no lanes to render")
+    width = len(lanes[0][1])
+    if any(len(cells) != width for _, cells in lanes):
+        raise ValueError("all lanes must have the same width")
+    label_w = max(len(label) for label, _ in lanes)
+    lines = []
+    if title:
+        lines.append(title)
+    for label, cells in lanes:
+        lines.append(f"  {label:<{label_w}} |{cells}|")
+    if footer:
+        lines.append(" " * (label_w + 3) + footer)
+    if legend:
+        lines.append(
+            "  legend: "
+            + "  ".join(f"{mark}={name}" for mark, name in legend.items())
+        )
+    return "\n".join(lines)
 
 
 def ascii_series_plot(

@@ -1,0 +1,95 @@
+"""Structured logging for the ``repro`` package.
+
+One-line setup, one logger hierarchy: every module that wants to emit
+status chatter (progress, warnings, diagnostics) calls
+:func:`get_logger` and logs; the CLI (or an embedding application)
+calls :func:`setup_logging` once to choose the threshold and sink.
+
+The convention this package follows: ``print`` is reserved for primary
+stdout artifacts — tables, reports, "wrote <file>" confirmations —
+while everything a user might want to silence or crank up (per-step
+progress, skipped-baseline warnings, timing chatter) goes through
+logging, to stderr.  ``extrap -v`` / ``extrap --log-level debug`` set
+the level globally.
+
+Libraries embedding :mod:`repro` that configure logging themselves can
+skip :func:`setup_logging` entirely; the ``repro`` logger propagates to
+the root logger until it is explicitly configured here.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import IO, Optional, Union
+
+#: root of the package's logger hierarchy
+ROOT_LOGGER = "repro"
+
+#: default message format: terse, grep-able, stderr-friendly
+LOG_FORMAT = "%(levelname)s %(name)s: %(message)s"
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """The package logger, or a child of it.
+
+    ``get_logger()`` returns the ``repro`` root; ``get_logger("obs")``
+    returns ``repro.obs``; a name already under ``repro`` (e.g.
+    ``__name__`` inside this package) is used as-is.
+    """
+    if not name:
+        return logging.getLogger(ROOT_LOGGER)
+    if name == ROOT_LOGGER or name.startswith(ROOT_LOGGER + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}")
+
+
+def level_from_verbosity(verbosity: int) -> int:
+    """Map ``-v`` counts to logging levels (0 -> WARNING, 1 -> INFO,
+    2+ -> DEBUG)."""
+    if verbosity <= 0:
+        return logging.WARNING
+    if verbosity == 1:
+        return logging.INFO
+    return logging.DEBUG
+
+
+def setup_logging(
+    level: Union[int, str] = logging.WARNING,
+    *,
+    stream: Optional[IO[str]] = None,
+    force: bool = False,
+) -> logging.Logger:
+    """Configure the ``repro`` logger hierarchy and return its root.
+
+    Parameters
+    ----------
+    level:
+        A :mod:`logging` level number or name (``"debug"``, ``"info"``,
+        ``"warning"``, ``"error"``).
+    stream:
+        Sink for the handler; defaults to ``sys.stderr``.
+    force:
+        Replace an existing handler instead of keeping it (used by
+        tests and repeated CLI invocations in one process).
+
+    Idempotent: calling twice without ``force`` only updates the level.
+    """
+    if isinstance(level, str):
+        resolved = logging.getLevelName(level.upper())
+        if not isinstance(resolved, int):
+            raise ValueError(f"unknown log level {level!r}")
+        level = resolved
+    root = logging.getLogger(ROOT_LOGGER)
+    root.setLevel(level)
+    if force:
+        for handler in list(root.handlers):
+            root.removeHandler(handler)
+    if not root.handlers:
+        handler = logging.StreamHandler(stream or sys.stderr)
+        handler.setFormatter(logging.Formatter(LOG_FORMAT))
+        root.addHandler(handler)
+        # Once configured, messages stop propagating to the (possibly
+        # application-owned) root logger: no double printing.
+        root.propagate = False
+    return root

@@ -1,0 +1,152 @@
+"""Chrome trace-event / CSV exporters and the timeline loader."""
+
+import json
+import math
+
+import pytest
+
+from repro.bench.suite import get_benchmark
+from repro.core import presets
+from repro.core.pipeline import extrapolate, measure
+from repro.obs.export import (
+    chrome_trace_json,
+    counters_csv,
+    load_chrome_trace,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_counters_csv,
+)
+from repro.obs.recorder import TimelineRecorder
+
+
+def small_timeline():
+    rec = TimelineRecorder()
+    rec.span(0, "compute", 0.0, 5.0)
+    rec.span(1, "service", 2.0, 3.0)
+    rec.instant(0, "remote_read", 4.0, owner=1, nbytes=8)
+    rec.counter("net.in_flight", 1.0, 1)
+    rec.counter("proc0.rxq_depth", 2.0, 3)
+    return rec.finalize(n_procs=2, end_time=5.0, program="toy", params_name="t")
+
+
+@pytest.fixture(scope="module")
+def grid_result():
+    info = get_benchmark("grid")
+    trace = measure(info.make_program()(8), 8, name="grid")
+    return extrapolate(
+        trace, presets.distributed_memory(), observe=True
+    ).result
+
+
+def test_chrome_trace_structure_small():
+    doc = to_chrome_trace(small_timeline())
+    assert set(doc) == {"traceEvents", "displayTimeUnit", "otherData"}
+    phases = {e["ph"] for e in doc["traceEvents"]}
+    assert phases <= {"X", "i", "C"}
+    # Per-proc counter rides on its processor; global one on pid=n_procs.
+    by_name = {e["name"]: e for e in doc["traceEvents"]}
+    assert by_name["proc0.rxq_depth"]["pid"] == 0
+    assert by_name["net.in_flight"]["pid"] == 2
+    assert by_name["remote_read"]["args"] == {"nbytes": 8, "owner": 1}
+
+
+def test_chrome_trace_schema_acceptance(grid_result):
+    """Acceptance: structure Perfetto's trace-event importer accepts."""
+    doc = to_chrome_trace(grid_result.timeline)
+    events = doc["traceEvents"]
+    assert events
+    last_ts = -1.0
+    procs_seen = set()
+    for ev in events:
+        assert ev["ph"] in {"X", "i", "C"}
+        assert isinstance(ev["pid"], int) and ev["pid"] >= 0
+        assert isinstance(ev["tid"], int) and ev["tid"] >= 0
+        assert ev["ts"] >= 0.0
+        assert ev["ts"] >= last_ts  # monotone (sorted) timestamps
+        last_ts = ev["ts"]
+        if ev["ph"] == "X":
+            assert ev["dur"] > 0
+            assert ev["pid"] == ev["tid"]  # one track per processor
+            procs_seen.add(ev["pid"])
+        if ev["ph"] == "i":
+            assert ev["s"] == "t"
+        if ev["ph"] == "C":
+            assert "value" in ev["args"]
+    assert procs_seen == set(range(grid_result.n_processors))
+
+
+def test_chrome_span_totals_match_stats(grid_result):
+    """Acceptance: per-category span totals in the *exported* JSON agree
+    with the ProcessorStats busy-time categories."""
+    doc = to_chrome_trace(grid_result.timeline)
+    totals = {}
+    for ev in doc["traceEvents"]:
+        if ev["ph"] == "X":
+            key = (ev["pid"], ev["name"])
+            totals[key] = totals.get(key, 0.0) + ev["dur"]
+    for p in grid_result.processors:
+        for cat, expected in p.categories.items():
+            got = totals.get((p.pid, cat), 0.0)
+            assert math.isclose(got, expected, rel_tol=1e-9, abs_tol=1e-6)
+
+
+def test_export_deterministic_same_seed():
+    """Acceptance: same seed + params => byte-identical export."""
+
+    def run():
+        info = get_benchmark("grid")
+        trace = measure(info.make_program()(4), 4, name="grid")
+        out = extrapolate(trace, presets.distributed_memory(), observe=True)
+        return chrome_trace_json(out.result.timeline)
+
+    assert run() == run()
+
+
+def test_roundtrip_through_file(tmp_path):
+    tl = small_timeline()
+    path = write_chrome_trace(tl, tmp_path / "t.json")
+    loaded = load_chrome_trace(path)
+    assert loaded.n_procs == tl.n_procs
+    assert loaded.end_time == tl.end_time
+    assert loaded.program == "toy"
+    assert loaded.spans == tl.spans
+    assert loaded.instants == tl.instants
+    assert {n: s.samples for n, s in loaded.counters.items()} == {
+        n: s.samples for n, s in tl.counters.items()
+    }
+    # Re-export of the loaded timeline is byte-identical (normal form).
+    assert chrome_trace_json(loaded) == chrome_trace_json(tl)
+
+
+def test_roundtrip_full_simulation(tmp_path, grid_result):
+    path = write_chrome_trace(grid_result.timeline, tmp_path / "g.json")
+    loaded = load_chrome_trace(path)
+    assert chrome_trace_json(loaded) == chrome_trace_json(grid_result.timeline)
+
+
+def test_loader_rejects_garbage(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text("not json")
+    with pytest.raises(ValueError, match="not valid JSON"):
+        load_chrome_trace(bad)
+    notrace = tmp_path / "nt.json"
+    notrace.write_text(json.dumps({"foo": 1}))
+    with pytest.raises(ValueError, match="traceEvents"):
+        load_chrome_trace(notrace)
+    wrong_schema = tmp_path / "ws.json"
+    wrong_schema.write_text(
+        json.dumps({"traceEvents": [], "otherData": {"schema": 999}})
+    )
+    with pytest.raises(ValueError, match="schema"):
+        load_chrome_trace(wrong_schema)
+
+
+def test_counters_csv(tmp_path):
+    tl = small_timeline()
+    csv = counters_csv(tl)
+    lines = csv.strip().splitlines()
+    assert lines[0] == "counter,t_us,value"
+    assert "net.in_flight,1,1" in lines
+    assert "proc0.rxq_depth,2,3" in lines
+    path = write_counters_csv(tl, tmp_path / "c.csv")
+    assert path.read_text() == csv

@@ -1,0 +1,78 @@
+"""ASCII Gantt rendering and the shared lane-framing helper."""
+
+import pytest
+
+from repro.obs.gantt import ascii_gantt
+from repro.obs.recorder import TimelineRecorder
+from repro.util.asciiplot import ascii_lanes
+
+
+def test_ascii_lanes_frames_and_legend():
+    out = ascii_lanes(
+        [("p0", "==.."), ("p1", "..==")],
+        title="t",
+        legend={"=": "busy", ".": "idle"},
+        footer="0 .. 4",
+    )
+    lines = out.splitlines()
+    assert lines[0] == "t"
+    assert "|==..|" in lines[1]
+    assert "|..==|" in lines[2]
+    assert "0 .. 4" in lines[3]
+    assert "==busy" in lines[4]
+
+
+def test_ascii_lanes_validates():
+    with pytest.raises(ValueError, match="no lanes"):
+        ascii_lanes([])
+    with pytest.raises(ValueError, match="same width"):
+        ascii_lanes([("a", "=="), ("b", "=")])
+
+
+def test_gantt_basic_painting():
+    rec = TimelineRecorder()
+    rec.span(0, "compute", 0.0, 5.0)
+    rec.span(0, "comm_wait", 5.0, 10.0)
+    rec.span(1, "barrier_wait", 0.0, 8.0)
+    rec.span(1, "service", 2.0, 4.0)  # busy nested inside the wait
+    tl = rec.finalize(n_procs=2, end_time=10.0, program="toy")
+    out = ascii_gantt(tl, width=20)
+    lines = out.splitlines()
+    p0 = next(line for line in lines if line.strip().startswith("p0"))
+    p1 = next(line for line in lines if line.strip().startswith("p1"))
+    assert "=" in p0 and "w" in p0
+    # Busy overpaints the wait it nests in; wait fills the rest.
+    assert "s" in p1 and "B" in p1
+    # Lane tail past end of recorded spans on p1 is idle.
+    assert p1.rstrip().endswith(".|")
+    assert "legend:" in lines[-1]
+
+
+def test_gantt_priority_busy_over_wait():
+    rec = TimelineRecorder()
+    rec.span(0, "comm_wait", 0.0, 10.0)
+    rec.span(0, "service", 0.0, 10.0)
+    tl = rec.finalize(n_procs=1, end_time=10.0)
+    out = ascii_gantt(tl, width=16)
+    lane = next(
+        line for line in out.splitlines() if line.strip().startswith("p0")
+    )
+    cells = lane.split("|")[1]
+    assert set(cells) == {"s"}
+
+
+def test_gantt_unknown_category_marked():
+    rec = TimelineRecorder()
+    rec.span(0, "custom_thing", 0.0, 10.0)
+    tl = rec.finalize(n_procs=1, end_time=10.0)
+    out = ascii_gantt(tl, width=16)
+    assert "?" in out
+    assert "custom_thing" in out
+
+
+def test_gantt_empty_and_bad_width():
+    tl = TimelineRecorder().finalize(n_procs=0, end_time=0.0)
+    assert ascii_gantt(tl) == "(empty timeline)"
+    tl2 = TimelineRecorder().finalize(n_procs=1, end_time=1.0)
+    with pytest.raises(ValueError, match="width"):
+        ascii_gantt(tl2, width=4)

@@ -1,0 +1,91 @@
+"""Structured logging helpers."""
+
+import io
+import logging
+
+from repro.util.log import (
+    ROOT_LOGGER,
+    get_logger,
+    level_from_verbosity,
+    setup_logging,
+)
+
+
+def _fresh_root():
+    root = logging.getLogger(ROOT_LOGGER)
+    for h in list(root.handlers):
+        root.removeHandler(h)
+    root.setLevel(logging.NOTSET)
+    root.propagate = True
+    return root
+
+
+def test_get_logger_names():
+    assert get_logger().name == ROOT_LOGGER
+    assert get_logger("cli").name == "repro.cli"
+    assert get_logger("repro.sim").name == "repro.sim"
+
+
+def test_level_from_verbosity():
+    assert level_from_verbosity(0) == logging.WARNING
+    assert level_from_verbosity(1) == logging.INFO
+    assert level_from_verbosity(2) == logging.DEBUG
+    assert level_from_verbosity(5) == logging.DEBUG
+
+
+def test_setup_logging_writes_to_stream():
+    _fresh_root()
+    stream = io.StringIO()
+    setup_logging("info", stream=stream, force=True)
+    log = get_logger("t")
+    log.info("hello %d", 7)
+    log.debug("hidden")
+    out = stream.getvalue()
+    assert "INFO repro.t: hello 7" in out
+    assert "hidden" not in out
+    _fresh_root()
+
+
+def test_setup_logging_idempotent_unless_forced():
+    _fresh_root()
+    first = io.StringIO()
+    second = io.StringIO()
+    setup_logging(logging.WARNING, stream=first, force=True)
+    # Second call without force keeps the existing handler (only the
+    # level changes).
+    setup_logging(logging.DEBUG, stream=second)
+    root = logging.getLogger(ROOT_LOGGER)
+    assert len(root.handlers) == 1
+    assert root.level == logging.DEBUG
+    get_logger("t").warning("once")
+    assert "once" in first.getvalue()
+    assert second.getvalue() == ""
+    # force=True swaps the sink.
+    setup_logging("warning", stream=second, force=True)
+    assert len(root.handlers) == 1
+    get_logger("t").warning("twice")
+    assert "twice" in second.getvalue()
+    assert "twice" not in first.getvalue()
+    _fresh_root()
+
+
+def test_setup_logging_rejects_bad_level():
+    import pytest
+
+    with pytest.raises(ValueError, match="unknown log level"):
+        setup_logging("loud")
+
+
+def test_cli_verbose_flag_routes_status_to_stderr(tmp_path, capsys):
+    from repro.cli import main
+
+    # Start from an unconfigured hierarchy so the CLI's setup_logging
+    # binds its handler to the capsys-captured stderr.
+    _fresh_root()
+    path = tmp_path / "t.jsonl"
+    assert main(["-v", "trace", "embar", "-n", "2", "-o", str(path)]) == 0
+    captured = capsys.readouterr()
+    # Status chatter goes to the log on stderr; artifact line stays on stdout.
+    assert "wrote" in captured.out
+    assert "INFO repro.cli" in captured.err
+    _fresh_root()
