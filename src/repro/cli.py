@@ -7,6 +7,8 @@ Subcommands::
     extrap predict <trace> --preset cm5 [--set processor.mips_ratio=0.5]
     extrap predict <trace> --timeline run.json   # record the simulation
     extrap timeline run.json --ascii             # render / convert it
+    extrap predict <trace> --faults plan.json    # unreliable machine
+    extrap validate <trace> [--no-global-barriers]  # structural checks
     extrap report  <trace> --preset cm5      # full debugging report
     extrap study  <bench> --preset distributed_memory -p 1,2,4,8,16,32
     extrap machine <bench> -n 8              # reference CM-5 direct run
@@ -28,9 +30,11 @@ from repro.bench.suite import BENCHMARKS, get_benchmark
 from repro.core import presets
 from repro.core.parameters import SimulationParameters
 from repro.core.pipeline import extrapolate, measure
+from repro.des import SimulationStalled
 from repro.experiments.runner import EXPERIMENTS, run_experiment
+from repro.faults import load_fault_plan
 from repro.metrics.scaling import run_scaling_study
-from repro.trace import read_trace, write_trace
+from repro.trace import TraceReadError, read_trace, write_trace
 from repro.util.log import get_logger, level_from_verbosity, setup_logging
 
 log = get_logger("cli")
@@ -54,6 +58,40 @@ def _require_file(path: str, what: str = "input file") -> str | None:
     if p.is_dir():
         return f"{what} is a directory: {path}"
     return None
+
+
+def _load_trace(path: str):
+    """``(trace, None)`` or ``(None, error message)`` for a trace path.
+
+    Folds the existence check and the malformed-file diagnosis into one
+    place so every trace-consuming subcommand exits 2 with a one-line
+    ``file:line: what`` message instead of a traceback.
+    """
+    problem = _require_file(path, "trace file")
+    if problem:
+        return None, problem
+    try:
+        return read_trace(path), None
+    except (TraceReadError, ValueError) as exc:
+        return None, str(exc)
+    except OSError as exc:
+        return None, f"cannot read trace {path}: {exc}"
+
+
+def _load_faults(args, params: SimulationParameters):
+    """``(params with the --faults plan applied, None)`` or ``(None, error)``."""
+    path = getattr(args, "faults", None)
+    if not path:
+        return params, None
+    problem = _require_file(path, "fault plan")
+    if problem:
+        return None, problem
+    try:
+        plan = load_fault_plan(path)
+    except ValueError as exc:
+        return None, str(exc)
+    log.info("fault plan: %s", plan.describe())
+    return params.with_faults(plan), None
 
 
 def _parse_counts(spec: str) -> List[int]:
@@ -125,25 +163,35 @@ def cmd_trace(args) -> int:
 
 
 def cmd_predict(args) -> int:
-    problem = _require_file(args.trace, "trace file")
+    trace, problem = _load_trace(args.trace)
     if problem:
         return _input_error(problem)
-    trace = read_trace(args.trace)
     params = _apply_overrides(presets.by_name(args.preset), args.set or [])
+    params, problem = _load_faults(args, params)
+    if problem:
+        return _input_error(problem)
     log.info(
         "extrapolating %s to %s", args.trace, params.name or args.preset
     )
-    outcome = extrapolate(
-        trace,
-        params,
-        profile=args.profile,
-        observe=args.timeline is not None,
-    )
+    try:
+        outcome = extrapolate(
+            trace,
+            params,
+            profile=args.profile,
+            observe=args.timeline is not None,
+            wall_clock_budget=args.wall_budget,
+        )
+    except SimulationStalled as exc:
+        return _input_error(str(exc))
     print(params.describe())
     print(f"measured trace: {outcome.trace_stats.summary()}")
     print(f"ideal execution time:     {outcome.ideal_time:12.1f} us")
     print(f"predicted execution time: {outcome.predicted_time:12.1f} us")
     print(outcome.result.summary())
+    if outcome.result.faults is not None:
+        from repro.metrics.report import fault_section
+
+        print(fault_section(outcome.result))
     if outcome.result.profile is not None:
         from repro.metrics.report import profile_section
 
@@ -217,13 +265,38 @@ def cmd_timeline(args) -> int:
 def cmd_report(args) -> int:
     from repro.metrics.report import full_report
 
-    problem = _require_file(args.trace, "trace file")
+    trace, problem = _load_trace(args.trace)
     if problem:
         return _input_error(problem)
-    trace = read_trace(args.trace)
     params = _apply_overrides(presets.by_name(args.preset), args.set or [])
-    outcome = extrapolate(trace, params, profile=args.profile)
+    params, problem = _load_faults(args, params)
+    if problem:
+        return _input_error(problem)
+    try:
+        outcome = extrapolate(trace, params, profile=args.profile)
+    except SimulationStalled as exc:
+        return _input_error(str(exc))
     print(full_report(outcome))
+    return 0
+
+
+def cmd_validate(args) -> int:
+    from repro.trace.validate import TraceValidationError, validate_trace
+
+    trace, problem = _load_trace(args.trace)
+    if problem:
+        return _input_error(problem)
+    try:
+        validate_trace(
+            trace, require_global_barriers=not args.no_global_barriers
+        )
+    except TraceValidationError as exc:
+        print(f"{args.trace}: INVALID: {exc}")
+        return 1
+    print(
+        f"{args.trace}: ok ({len(trace)} events, "
+        f"{trace.meta.n_threads} threads)"
+    )
     return 0
 
 
@@ -275,10 +348,9 @@ def cmd_compare(args) -> int:
     from repro.metrics import derive_metrics
     from repro.util.tables import format_table
 
-    problem = _require_file(args.trace, "trace file")
+    trace, problem = _load_trace(args.trace)
     if problem:
         return _input_error(problem)
-    trace = read_trace(args.trace)
     rows = []
     base_time = None
     for preset_name in args.presets:
@@ -413,6 +485,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="record the simulated execution and write a Perfetto-loadable "
         "Chrome trace-event JSON here (explore with 'extrap timeline')",
     )
+    p.add_argument(
+        "--faults",
+        default=None,
+        metavar="PLAN.json",
+        help="inject faults from a FaultPlan JSON file "
+        "(see docs/ROBUSTNESS.md)",
+    )
+    p.add_argument(
+        "--wall-budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="abort with a stall diagnosis if the simulation runs longer "
+        "than this many real seconds",
+    )
 
     tl = sub.add_parser(
         "timeline",
@@ -455,6 +542,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile",
         action="store_true",
         help="include the engine profile section in the report",
+    )
+    r.add_argument(
+        "--faults",
+        default=None,
+        metavar="PLAN.json",
+        help="inject faults from a FaultPlan JSON file",
+    )
+
+    va = sub.add_parser(
+        "validate", help="check a trace file's structural invariants"
+    )
+    va.add_argument("trace", help="trace file to validate (.jsonl or .bin)")
+    va.add_argument(
+        "--no-global-barriers",
+        action="store_true",
+        help="allow barriers that not every thread enters "
+        "(pC++ barriers are global; disable for partial/hand-built traces)",
     )
 
     b = sub.add_parser(
@@ -533,6 +637,7 @@ def main(argv: List[str] | None = None) -> int:
         "predict": cmd_predict,
         "timeline": cmd_timeline,
         "report": cmd_report,
+        "validate": cmd_validate,
         "bench": cmd_bench,
         "machine": cmd_machine,
         "calibrate": cmd_calibrate,

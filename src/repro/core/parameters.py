@@ -13,7 +13,9 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, Mapping
+from typing import Any, Dict, Mapping, Optional
+
+from repro.faults.plan import FaultPlan
 
 
 class RemoteServicePolicy(enum.Enum):
@@ -227,11 +229,18 @@ class BarrierParams:
 
 @dataclass(frozen=True)
 class SimulationParameters:
-    """Complete target-environment description for one extrapolation."""
+    """Complete target-environment description for one extrapolation.
+
+    ``faults`` is the optional unreliable-machine description
+    (:class:`repro.faults.plan.FaultPlan`); ``None`` — the default —
+    models the paper's ideal target and keeps results byte-identical
+    to builds without the fault subsystem.
+    """
 
     processor: ProcessorParams = field(default_factory=ProcessorParams)
     network: NetworkParams = field(default_factory=NetworkParams)
     barrier: BarrierParams = field(default_factory=BarrierParams)
+    faults: Optional[FaultPlan] = None
     name: str = "custom"
 
     def with_(self, **groups: Mapping[str, Any]) -> "SimulationParameters":
@@ -248,24 +257,40 @@ class SimulationParameters:
             if group == "name":
                 updates["name"] = fields_
                 continue
+            if group == "faults":
+                updates["faults"] = self._merge_faults(fields_)
+                continue
             if group not in ("processor", "network", "barrier"):
                 raise ValueError(f"unknown parameter group {group!r}")
             updates[group] = replace(getattr(self, group), **fields_)
         return replace(self, **updates)
 
+    def _merge_faults(self, fields_: Any) -> Optional[FaultPlan]:
+        """Resolve a ``faults=`` update: a plan, None, or a field dict."""
+        if fields_ is None or isinstance(fields_, FaultPlan):
+            return fields_
+        if self.faults is None:
+            return FaultPlan(**fields_)
+        return replace(self.faults, **fields_)
+
+    def with_faults(self, plan: Optional[FaultPlan]) -> "SimulationParameters":
+        """Copy of these parameters with ``plan`` as the fault model."""
+        return replace(self, faults=plan)
+
     def describe(self) -> str:
         """Multi-line human-readable parameter dump."""
         p, nw, b = self.processor, self.network, self.barrier
-        return "\n".join(
-            [
-                f"parameter set {self.name!r}:",
-                f"  processor: MipsRatio={p.mips_ratio} policy={p.policy.value}"
-                f" poll_interval={p.poll_interval}us",
-                f"  network: CommStartupTime={nw.comm_startup_time}us"
-                f" ByteTransferTime={nw.byte_transfer_time}us/B"
-                f" topology={nw.topology} contention={nw.contention}",
-                f"  barrier: {b.algorithm.value} Entry={b.entry_time} Exit={b.exit_time}"
-                f" Check={b.check_time} ExitCheck={b.exit_check_time}"
-                f" Model={b.model_time} ByMsgs={int(b.by_msgs)} MsgSize={b.msg_size}",
-            ]
-        )
+        lines = [
+            f"parameter set {self.name!r}:",
+            f"  processor: MipsRatio={p.mips_ratio} policy={p.policy.value}"
+            f" poll_interval={p.poll_interval}us",
+            f"  network: CommStartupTime={nw.comm_startup_time}us"
+            f" ByteTransferTime={nw.byte_transfer_time}us/B"
+            f" topology={nw.topology} contention={nw.contention}",
+            f"  barrier: {b.algorithm.value} Entry={b.entry_time} Exit={b.exit_time}"
+            f" Check={b.check_time} ExitCheck={b.exit_check_time}"
+            f" Model={b.model_time} ByMsgs={int(b.by_msgs)} MsgSize={b.msg_size}",
+        ]
+        if self.faults is not None:
+            lines.append(f"  {self.faults.describe()}")
+        return "\n".join(lines)

@@ -92,6 +92,7 @@ def extrapolate(
     compensate_overhead: float = 0.0,
     profile: bool = False,
     observe: bool = False,
+    wall_clock_budget: Optional[float] = None,
 ) -> ExtrapolationOutcome:
     """Translate a measured trace and simulate it in environment ``params``.
 
@@ -101,6 +102,9 @@ def extrapolate(
         Merged 1-processor trace from :func:`measure`.
     params:
         Target-environment description (see :mod:`repro.core.presets`).
+        When ``params.faults`` is a non-null fault plan, the simulation
+        runs on the modelled *unreliable* machine (see
+        :mod:`repro.faults`).
     compensate_overhead:
         Per-event instrumentation overhead to subtract during translation.
     profile:
@@ -111,9 +115,19 @@ def extrapolate(
         Record an event-level timeline of the simulated execution; the
         outcome's ``result.timeline`` carries it (see :mod:`repro.obs`;
         identical simulation results).
+    wall_clock_budget:
+        Real-seconds watchdog budget for the simulation (None =
+        unlimited); exceeded budgets raise
+        :class:`~repro.des.engine.SimulationStalled`.
     """
     translated = translate(trace, event_overhead=compensate_overhead)
-    result = simulate(translated, params, profile=profile, observe=observe)
+    result = simulate(
+        translated,
+        params,
+        profile=profile,
+        observe=observe,
+        wall_clock_budget=wall_clock_budget,
+    )
     return ExtrapolationOutcome(
         trace=trace,
         trace_stats=compute_stats(trace),

@@ -18,7 +18,13 @@ scheduling (stable tie-break on a monotone sequence number).
 """
 
 from repro.des.events import AllOf, AnyOf, Event, Interrupt, Timeout
-from repro.des.engine import Deadlock, Environment, StopSimulation
+from repro.des.engine import (
+    Deadlock,
+    Environment,
+    SimulationStalled,
+    StopSimulation,
+    Watchdog,
+)
 from repro.des.process import Process, ProcessKilled
 from repro.des.stores import FilterStore, PriorityItem, PriorityStore, Store
 from repro.des.resources import Resource
@@ -36,7 +42,9 @@ __all__ = [
     "Process",
     "ProcessKilled",
     "Resource",
+    "SimulationStalled",
     "StopSimulation",
     "Store",
     "Timeout",
+    "Watchdog",
 ]

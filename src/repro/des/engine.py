@@ -18,8 +18,9 @@ the feature when it is off (one ``is None`` test per drain).
 
 from __future__ import annotations
 
+import time
 from heapq import heappop, heappush
-from typing import Any, Generator, Iterable, List, Optional, Tuple
+from typing import Any, Generator, Iterable, List, Optional, Sequence, Tuple
 
 from repro.des.events import PROCESSED, AllOf, AnyOf, Event, Timeout
 from repro.des.process import Process
@@ -32,6 +33,86 @@ class StopSimulation(Exception):
 
 class Deadlock(RuntimeError):
     """Raised when the queue drains before an awaited event fires."""
+
+
+class SimulationStalled(RuntimeError):
+    """The simulation stopped making progress (watchdog diagnosis).
+
+    Raised instead of hanging (or dying with a bare :class:`Deadlock`)
+    when a run cannot complete — e.g. a fault plan dropped a message
+    nobody retransmits, or the wall-clock budget ran out.  The message
+    is a one-line diagnosis; ``blocked`` carries ``(pid, reason)``
+    pairs for the processes that never finished and
+    ``pending_barriers`` the barrier episodes still waiting on
+    arrivals, so callers can render richer reports.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        blocked: Sequence[Tuple[int, str]] = (),
+        pending_barriers: Sequence[Tuple[int, str]] = (),
+    ):
+        super().__init__(message)
+        self.blocked = tuple(blocked)
+        self.pending_barriers = tuple(pending_barriers)
+
+
+class Watchdog:
+    """Wall-clock budget + no-progress stall detection for run loops.
+
+    The driving loop calls :meth:`check` every ``check_interval``
+    processed events with an opaque *progress token* (any value that
+    changes whenever the simulation did real work — the simulator uses
+    ``(processors finished, actions completed)``).  If the token stops
+    changing for ``stall_event_window`` events while events keep
+    flowing, or the optional wall-clock budget is exhausted, ``check``
+    returns a one-line reason string; the caller turns it into a
+    :class:`SimulationStalled` with whatever model-level diagnosis it
+    can add.  Healthy runs pay one comparison per interval.
+    """
+
+    def __init__(
+        self,
+        *,
+        wall_clock_budget: Optional[float] = None,
+        stall_event_window: int = 2_000_000,
+        check_interval: int = 250_000,
+    ):
+        if wall_clock_budget is not None and wall_clock_budget <= 0:
+            raise ValueError(
+                f"wall_clock_budget must be > 0, got {wall_clock_budget}"
+            )
+        if stall_event_window <= 0 or check_interval <= 0:
+            raise ValueError("watchdog windows must be > 0")
+        self.wall_clock_budget = wall_clock_budget
+        self.stall_event_window = stall_event_window
+        self.check_interval = check_interval
+        self._started = time.monotonic()
+        self._last_progress: Any = None
+        self._events_at_progress = 0
+
+    def check(self, event_count: int, progress: Any) -> Optional[str]:
+        """Return a stall reason, or None while the run looks healthy."""
+        if progress != self._last_progress:
+            self._last_progress = progress
+            self._events_at_progress = event_count
+        elif event_count - self._events_at_progress >= self.stall_event_window:
+            return (
+                f"no forward progress in the last "
+                f"{event_count - self._events_at_progress} events "
+                "(messages may be circulating without completing any work)"
+            )
+        if self.wall_clock_budget is not None:
+            elapsed = time.monotonic() - self._started
+            if elapsed > self.wall_clock_budget:
+                return (
+                    f"wall-clock budget of {self.wall_clock_budget:g}s "
+                    f"exceeded ({elapsed:.1f}s elapsed, "
+                    f"{event_count} events processed)"
+                )
+        return None
 
 
 def _noop_callback(_ev: Event) -> None:
@@ -65,6 +146,14 @@ class Environment:
         #: ``is None`` test.  The engine itself never touches it, so the
         #: event loop pays nothing for the feature.
         self.obs: Optional[Any] = None
+        #: Fault-injection hook slot (see :mod:`repro.faults`), wired
+        #: exactly like ``obs``: the simulator attaches a
+        #: :class:`~repro.faults.injector.FaultInjector` here *before*
+        #: building its model components; each component captures the
+        #: slot at construction.  ``None`` (the default, and always for
+        #: a null fault plan) keeps every code path byte-identical to a
+        #: fault-free build.
+        self.faults: Optional[Any] = None
 
     # -- introspection ------------------------------------------------------
 

@@ -227,6 +227,58 @@ def noise_sensitivity(
     return result
 
 
+def fault_sweep(
+    *, quick: bool = True, n_threads: int = 16
+) -> ExperimentResult:
+    """Prediction degradation on an unreliable machine (message loss).
+
+    Extrapolates one Grid trace under fault plans of increasing message
+    loss (with the timeout/retry recovery protocol armed) and reports
+    the predicted time and the recovery traffic.  Loss 0 is the ideal
+    machine and must reproduce the fault-free prediction exactly.
+    """
+    from dataclasses import replace
+
+    from repro.faults.plan import FaultPlan
+
+    maker = make_grid(grid_config(quick=quick))
+    base = figure4_params()
+    result = ExperimentResult(
+        name="ablation-faults",
+        title="Fault-injection sweep (Grid under message loss + retry)",
+        ylabel="predicted execution time (us)",
+    )
+    trace = measure(maker(n_threads), n_threads, name="grid", size_mode="actual")
+    times: dict = {}
+    for i, loss in enumerate((0.0, 0.01, 0.05, 0.10)):
+        if loss == 0.0:
+            params = base
+        else:
+            plan = FaultPlan(
+                seed=42,
+                msg_loss_rate=loss,
+                request_timeout=20_000.0,
+                max_retries=8,
+            )
+            params = replace(base, faults=plan)
+        outcome = extrapolate(trace, params)
+        times[i + 1] = outcome.predicted_time
+        totals = outcome.result.fault_totals()
+        result.notes.append(
+            f"loss={loss:.0%}: {outcome.predicted_time:.0f} us, "
+            f"{totals['messages_dropped']} drops, "
+            f"{totals['retries']} retries, "
+            f"{totals['retry_giveups']} give-ups"
+        )
+    result.series["msg loss 0/1/5/10%"] = times
+    if times[2] < times[1]:
+        result.notes.append(
+            "warning: 1% loss predicted faster than fault-free "
+            "(unexpected; check the recovery protocol)"
+        )
+    return result
+
+
 def overhead_compensation(
     *, quick: bool = True, n_threads: int = 8
 ) -> ExperimentResult:

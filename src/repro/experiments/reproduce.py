@@ -13,6 +13,7 @@ from typing import Dict, List, Sequence
 
 from repro.experiments import tables
 from repro.experiments.runner import EXPERIMENTS, run_experiment
+from repro.util.atomic import atomic_write_text
 from repro.util.log import get_logger
 
 log = get_logger("experiments.reproduce")
@@ -38,9 +39,9 @@ def reproduce(
         raise ValueError(f"unknown experiments: {unknown}")
 
     # Static tables first.
-    (out / "tables.txt").write_text(
+    atomic_write_text(
+        out / "tables.txt",
         "\n\n".join([tables.table1(), tables.table2(), tables.table3()]) + "\n",
-        encoding="utf-8",
     )
 
     index_rows: List[str] = [
@@ -58,11 +59,11 @@ def reproduce(
         t0 = time.perf_counter()
         try:
             result = run_experiment(name, quick=quick)
-            path.write_text(result.format() + "\n", encoding="utf-8")
-            (out / f"{name}.csv").write_text(result.to_csv(), encoding="utf-8")
+            atomic_write_text(path, result.format() + "\n")
+            atomic_write_text(out / f"{name}.csv", result.to_csv())
             status = "ok"
         except Exception as exc:  # record, keep going
-            path.write_text(f"FAILED: {exc!r}\n", encoding="utf-8")
+            atomic_write_text(path, f"FAILED: {exc!r}\n")
             status = f"FAILED ({type(exc).__name__})"
             log.warning("%s failed: %r", name, exc)
         elapsed = time.perf_counter() - t0
@@ -72,5 +73,5 @@ def reproduce(
         )
 
     index = out / "REPORT.md"
-    index.write_text("\n".join(index_rows) + "\n", encoding="utf-8")
+    atomic_write_text(index, "\n".join(index_rows) + "\n")
     return index

@@ -36,6 +36,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "ablation-placement": ablations.placement,
     "ablation-noise": ablations.noise_sensitivity,
     "ablation-overhead": ablations.overhead_compensation,
+    "ablation-faults": ablations.fault_sweep,
     "ablation-multithread": multithread_study.run,
 }
 

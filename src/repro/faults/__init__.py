@@ -1,0 +1,32 @@
+"""Fault injection and unreliable-machine modeling.
+
+The extrapolation models of §3 assume an ideal target: every message is
+delivered, every barrier completes, every run finishes.  This package
+drops that assumption.  A :class:`~repro.faults.plan.FaultPlan` is a
+deterministic, seed-driven description of how the target machine
+misbehaves — message loss, duplication and latency jitter on the
+interconnect, transient processor slowdowns ("stragglers"), and delayed
+barrier arrivals — and a :class:`~repro.faults.injector.FaultInjector`
+turns the plan into reproducible per-event decisions during simulation.
+
+The protocol machinery to *survive* those faults (request timeout +
+bounded retry with backoff) lives in :mod:`repro.sim.processor`; the
+watchdog that turns a non-survivable plan into a diagnosable
+:class:`~repro.des.engine.SimulationStalled` instead of a hang lives in
+:mod:`repro.des.engine` / :mod:`repro.sim.simulator`.
+
+A null plan (:meth:`FaultPlan.is_null`) is never attached to the
+simulation at all, so the zero-fault configuration stays byte-identical
+to a run without this subsystem.
+"""
+
+from repro.faults.injector import FaultInjector, FaultStats
+from repro.faults.plan import DATA_MSG_KINDS, FaultPlan, load_fault_plan
+
+__all__ = [
+    "DATA_MSG_KINDS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultStats",
+    "load_fault_plan",
+]

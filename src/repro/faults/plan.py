@@ -1,0 +1,230 @@
+"""The fault plan: a declarative, seed-driven description of target
+machine unreliability.
+
+A :class:`FaultPlan` is pure configuration — no randomness lives here.
+The :class:`~repro.faults.injector.FaultInjector` derives independent
+RNG streams from ``seed`` (one per fault category, via
+:func:`repro.util.rng.spawn_rngs`), so enabling one fault category never
+perturbs the random decisions of another, and a fixed seed yields the
+same fault schedule on every run.
+
+Plans are JSON-serialisable (``extrap predict --faults plan.json``)::
+
+    {
+      "seed": 7,
+      "msg_loss_rate": 0.05,
+      "request_timeout": 5000.0,
+      "max_retries": 5
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, fields
+from pathlib import Path
+from typing import Any, Dict, Mapping, Tuple
+
+#: Data-plane message kinds (the remote-access protocol).  Loss and
+#: duplication default to these: barrier synchronisation messages have
+#: no retry protocol, so dropping them can only stall the simulation
+#: (the watchdog will diagnose it, but it is rarely what a sweep wants).
+#: Latency jitter applies to every kind regardless.
+DATA_MSG_KINDS: Tuple[str, ...] = ("request", "reply", "write", "write_ack")
+
+#: Every message kind a plan may name in ``loss_kinds``.
+ALL_MSG_KINDS: Tuple[str, ...] = DATA_MSG_KINDS + (
+    "barrier_arrive",
+    "barrier_release",
+)
+
+
+def _require_rate(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+
+def _require_nonneg(name: str, value: float) -> None:
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Deterministic description of how the target machine misbehaves.
+
+    Attributes
+    ----------
+    seed:
+        Root seed for every fault decision.  Two runs of the same plan
+        on the same trace are identical; change the seed to sample a
+        different fault schedule.
+    msg_loss_rate:
+        Probability that a message of a kind in ``loss_kinds`` is
+        silently dropped in transit.
+    msg_dup_rate:
+        Probability that such a message is delivered twice (the second
+        copy arrives after an independent transit time).
+    msg_jitter:
+        Maximum extra transit latency, in microseconds; each message
+        (of any kind) gets a uniform draw from ``[0, msg_jitter]``.
+    loss_kinds:
+        Message kinds subject to loss/duplication.  Defaults to the
+        data-plane kinds (:data:`DATA_MSG_KINDS`); may name barrier
+        kinds explicitly to model a lossy control network.
+    straggler_rate:
+        Probability that one compute action runs slowed (a transient
+        straggler interval: OS noise, thermal throttling, a co-tenant).
+    straggler_factor:
+        Slowdown multiplier for straggling compute actions (>= 1).
+    barrier_delay_rate:
+        Probability that a processor's arrival at a barrier episode is
+        delayed.
+    barrier_delay:
+        The extra arrival delay, in microseconds.
+    request_timeout:
+        Remote-access reply timeout in microseconds; 0 disables the
+        timeout/retry protocol (a lost request then blocks its issuer
+        until the watchdog diagnoses the stall).
+    max_retries:
+        Bounded retransmission budget per remote access.  When
+        exhausted the access is abandoned and the processor parks as
+        *blocked* — visible in the watchdog's stall diagnosis.
+    retry_backoff:
+        Timeout multiplier applied after each retry (>= 1).
+    """
+
+    seed: int = 0
+    msg_loss_rate: float = 0.0
+    msg_dup_rate: float = 0.0
+    msg_jitter: float = 0.0
+    loss_kinds: Tuple[str, ...] = DATA_MSG_KINDS
+    straggler_rate: float = 0.0
+    straggler_factor: float = 4.0
+    barrier_delay_rate: float = 0.0
+    barrier_delay: float = 0.0
+    request_timeout: float = 0.0
+    max_retries: int = 3
+    retry_backoff: float = 2.0
+
+    def __post_init__(self):
+        object.__setattr__(self, "loss_kinds", tuple(self.loss_kinds))
+        _require_rate("msg_loss_rate", self.msg_loss_rate)
+        _require_rate("msg_dup_rate", self.msg_dup_rate)
+        _require_rate("straggler_rate", self.straggler_rate)
+        _require_rate("barrier_delay_rate", self.barrier_delay_rate)
+        _require_nonneg("msg_jitter", self.msg_jitter)
+        _require_nonneg("barrier_delay", self.barrier_delay)
+        _require_nonneg("request_timeout", self.request_timeout)
+        if self.straggler_factor < 1.0:
+            raise ValueError(
+                f"straggler_factor must be >= 1, got {self.straggler_factor}"
+            )
+        if self.retry_backoff < 1.0:
+            raise ValueError(
+                f"retry_backoff must be >= 1, got {self.retry_backoff}"
+            )
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        unknown = set(self.loss_kinds) - set(ALL_MSG_KINDS)
+        if unknown:
+            raise ValueError(
+                f"unknown message kinds in loss_kinds: {sorted(unknown)}; "
+                f"expected a subset of {list(ALL_MSG_KINDS)}"
+            )
+
+    # -- classification ------------------------------------------------------
+
+    def is_null(self) -> bool:
+        """True when the plan injects nothing and runs no protocol.
+
+        A null plan is never attached to the simulation, so results stay
+        byte-identical to a run without any plan at all.  Note that
+        ``request_timeout > 0`` alone makes a plan non-null: the
+        timeout/retry machinery can retransmit on congestion-delayed
+        replies even when nothing is ever dropped.
+        """
+        return (
+            self.msg_loss_rate == 0.0
+            and self.msg_dup_rate == 0.0
+            and self.msg_jitter == 0.0
+            and self.straggler_rate == 0.0
+            and self.barrier_delay_rate == 0.0
+            and self.request_timeout == 0.0
+        )
+
+    # -- (de)serialisation ----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "msg_loss_rate": self.msg_loss_rate,
+            "msg_dup_rate": self.msg_dup_rate,
+            "msg_jitter": self.msg_jitter,
+            "loss_kinds": list(self.loss_kinds),
+            "straggler_rate": self.straggler_rate,
+            "straggler_factor": self.straggler_factor,
+            "barrier_delay_rate": self.barrier_delay_rate,
+            "barrier_delay": self.barrier_delay,
+            "request_timeout": self.request_timeout,
+            "max_retries": self.max_retries,
+            "retry_backoff": self.retry_backoff,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultPlan":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown fault plan fields: {sorted(unknown)}; "
+                f"expected a subset of {sorted(known)}"
+            )
+        return cls(**data)
+
+    def describe(self) -> str:
+        """One-line human-readable summary of the active faults."""
+        parts = []
+        if self.msg_loss_rate:
+            parts.append(f"loss={self.msg_loss_rate:g}")
+        if self.msg_dup_rate:
+            parts.append(f"dup={self.msg_dup_rate:g}")
+        if self.msg_jitter:
+            parts.append(f"jitter<={self.msg_jitter:g}us")
+        if self.straggler_rate:
+            parts.append(
+                f"stragglers={self.straggler_rate:g}x{self.straggler_factor:g}"
+            )
+        if self.barrier_delay_rate:
+            parts.append(
+                f"barrier_delay={self.barrier_delay_rate:g}x{self.barrier_delay:g}us"
+            )
+        if self.request_timeout:
+            parts.append(
+                f"timeout={self.request_timeout:g}us "
+                f"retries={self.max_retries} backoff={self.retry_backoff:g}"
+            )
+        if not parts:
+            return "faults: none"
+        return f"faults (seed={self.seed}): " + " ".join(parts)
+
+
+def load_fault_plan(path: "str | Path") -> FaultPlan:
+    """Load a :class:`FaultPlan` from a JSON file.
+
+    Raises :class:`ValueError` with the file name on malformed JSON or
+    unknown/invalid fields.
+    """
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path}: not valid JSON ({exc})") from None
+    if not isinstance(data, dict):
+        raise ValueError(
+            f"{path}: fault plan must be a JSON object, got {type(data).__name__}"
+        )
+    try:
+        return FaultPlan.from_dict(data)
+    except (TypeError, ValueError) as exc:
+        raise ValueError(f"{path}: bad fault plan: {exc}") from None

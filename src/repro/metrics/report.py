@@ -120,6 +120,47 @@ def bottleneck_summary(result: SimulationResult) -> str:
     return "\n".join(lines)
 
 
+def fault_section(result: SimulationResult) -> str:
+    """The injected-faults block for a result, if a fault plan ran.
+
+    Empty string for a fault-free simulation — callers can append it
+    unconditionally, like :func:`profile_section`.
+    """
+    if result.faults is None:
+        return ""
+    totals = result.fault_totals()
+    fs = result.faults
+    net = result.network
+    lines = [
+        "fault model:",
+        f"  {result.params.faults.describe()}"
+        if result.params.faults is not None
+        else "  (plan unavailable)",
+        f"  network: {net.dropped} dropped / {net.duplicated} duplicated "
+        f"of {net.messages} messages, "
+        f"{fs.jitter_messages} jittered (+{net.total_jitter:.0f} us total)",
+        f"  protocol: {totals['timeouts']} timeouts, {totals['retries']} "
+        f"retries, {totals['late_replies']} late replies, "
+        f"{totals['retry_giveups']} give-ups",
+    ]
+    if fs.dropped_by_kind:
+        by_kind = ", ".join(
+            f"{kind}={count}" for kind, count in sorted(fs.dropped_by_kind.items())
+        )
+        lines.append(f"  drops by kind: {by_kind}")
+    if fs.stragglers:
+        lines.append(
+            f"  stragglers: {fs.stragglers} slowed compute actions "
+            f"(+{fs.straggler_extra_time:.0f} us busy time)"
+        )
+    if fs.barrier_delays:
+        lines.append(
+            f"  barrier delays: {fs.barrier_delays} late arrivals "
+            f"(+{fs.barrier_delay_time:.0f} us)"
+        )
+    return "\n".join(lines)
+
+
 def profile_section(result: SimulationResult) -> str:
     """The engine-profile block for a result, if one was collected.
 
@@ -151,6 +192,8 @@ def full_report(outcome: ExtrapolationOutcome, *, width: int = 72) -> str:
     ]
     if phase_stats(res.threads):
         parts += ["", phase_table(res.threads)]
+    if res.faults is not None:
+        parts += ["", fault_section(res)]
     if res.profile is not None:
         parts += ["", profile_section(res)]
     return "\n".join(parts)

@@ -35,6 +35,7 @@ from pathlib import Path
 from typing import Dict, List
 
 from repro.obs.recorder import CounterSeries, Instant, Span, Timeline
+from repro.util.atomic import atomic_write_text
 
 #: bumped when the exported structure changes incompatibly
 SCHEMA_VERSION = 1
@@ -122,7 +123,7 @@ def chrome_trace_json(timeline: Timeline) -> str:
 def write_chrome_trace(timeline: Timeline, path: str | Path) -> Path:
     """Write the Perfetto-loadable JSON export to ``path``."""
     path = Path(path)
-    path.write_text(chrome_trace_json(timeline), encoding="utf-8")
+    atomic_write_text(path, chrome_trace_json(timeline))
     return path
 
 
@@ -212,5 +213,5 @@ def counters_csv(timeline: Timeline) -> str:
 def write_counters_csv(timeline: Timeline, path: str | Path) -> Path:
     """Write :func:`counters_csv` to ``path``."""
     path = Path(path)
-    path.write_text(counters_csv(timeline), encoding="utf-8")
+    atomic_write_text(path, counters_csv(timeline))
     return path

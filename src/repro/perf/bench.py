@@ -23,6 +23,8 @@ import time
 from pathlib import Path
 from typing import Callable, Dict
 
+from repro.util.atomic import atomic_write_text
+
 SCHEMA_VERSION = 1
 
 #: Default baseline location: the repository/working-directory root.
@@ -150,7 +152,7 @@ def run_benchmarks(
 def write_baseline(results: dict, path: str | Path = DEFAULT_BASELINE) -> Path:
     """Persist a benchmark result as the committed baseline."""
     path = Path(path)
-    path.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    atomic_write_text(path, json.dumps(results, indent=2, sort_keys=True) + "\n")
     return path
 
 

@@ -24,7 +24,7 @@ why every wait goes through ``SimProcessor._await_serving``.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Generator, List
+from typing import TYPE_CHECKING, Dict, Generator, List, Tuple
 
 from repro.core.parameters import BarrierAlgorithm, BarrierParams
 from repro.des import Environment, Event
@@ -78,6 +78,8 @@ class BarrierCoordinator:
         self.history: Dict[int, tuple] = {}
         #: timeline recorder, or None when observation is off
         self._obs = env.obs
+        #: fault injector, or None for ideal (always-on-time) arrivals
+        self._faults = env.faults
 
     def _obs_release(self, bid: int) -> None:
         """Record a barrier release (observation is on)."""
@@ -147,8 +149,48 @@ class BarrierCoordinator:
 
     # -- the protocol ------------------------------------------------------------
 
+    def pending_barriers(self) -> List[Tuple[int, str]]:
+        """Episodes not yet released, as ``(barrier_id, status)`` pairs.
+
+        The watchdog includes these in its :class:`SimulationStalled`
+        diagnosis so a barrier starved of arrivals is named directly.
+        """
+        pending = []
+        for bid in sorted(self._episodes):
+            times = self.history.get(bid)
+            if times is not None and times[1] is not None:
+                continue
+            ep = self._episodes[bid]
+            if self.params.by_msgs and self.params.algorithm is BarrierAlgorithm.LOG:
+                arrived = sum(ep.tree_arrived.values())
+                expected = self.n - 1
+            elif (
+                self.params.by_msgs
+                and self.params.algorithm is not BarrierAlgorithm.HARDWARE
+            ):
+                arrived, expected = ep.arrived, self.n - 1
+            else:
+                arrived, expected = ep.arrived, self.n
+            pending.append((bid, f"{arrived}/{expected} arrivals"))
+        return pending
+
     def participate(self, proc: "SimProcessor", bid: int) -> Generator:
         """Run one processor through barrier episode ``bid``."""
+        if self._faults is not None:
+            delay = self._faults.barrier_arrival_delay()
+            if delay > 0.0:
+                # The fault plan holds this processor back: it reaches
+                # the barrier late (idle time, not barrier overhead).
+                proc.stats.barrier_delays += 1
+                if self._obs is not None:
+                    self._obs.instant(
+                        proc.pid,
+                        "fault.barrier_delay",
+                        self.env.now,
+                        barrier_id=bid,
+                        delay_us=delay,
+                    )
+                yield proc._timeout(delay)
         alg = self.params.algorithm
         if alg is BarrierAlgorithm.HARDWARE:
             yield from self._participate_hardware(proc, bid)

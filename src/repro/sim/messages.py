@@ -48,6 +48,10 @@ class Message:
         For REQUEST: how large the reply payload will be.
     inject_time, deliver_time:
         Filled by the network model (simulation bookkeeping/statistics).
+        A fault-dropped message keeps ``deliver_time = -1.0``.
+    attempt:
+        Retransmission number under the fault-recovery protocol
+        (0 = first transmission; see :mod:`repro.faults`).
     """
 
     kind: MsgKind
@@ -59,9 +63,12 @@ class Message:
     reply_nbytes: int = 0
     inject_time: float = -1.0
     deliver_time: float = -1.0
+    attempt: int = 0
 
     def __repr__(self) -> str:
         extra = f" b={self.barrier_id}" if self.barrier_id >= 0 else ""
+        if self.attempt:
+            extra += f" retry={self.attempt}"
         return (
             f"<Msg {self.kind.value} {self.src}->{self.dst} "
             f"{self.nbytes}B id={self.msg_id}{extra}>"

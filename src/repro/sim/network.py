@@ -43,7 +43,11 @@ if TYPE_CHECKING:  # pragma: no cover
 
 @dataclass
 class NetworkStats:
-    """Aggregate interconnect statistics for one simulation."""
+    """Aggregate interconnect statistics for one simulation.
+
+    ``dropped`` / ``duplicated`` / ``total_jitter`` are only ever
+    non-zero when a fault plan is attached (see :mod:`repro.faults`).
+    """
 
     messages: int = 0
     bytes: int = 0
@@ -51,6 +55,9 @@ class NetworkStats:
     total_contention_delay: float = 0.0
     max_in_flight: int = 0
     by_kind: Dict[str, int] = field(default_factory=dict)
+    dropped: int = 0
+    duplicated: int = 0
+    total_jitter: float = 0.0
 
     @property
     def mean_wire_time(self) -> float:
@@ -92,6 +99,8 @@ class Network:
         #: timeline recorder, or None when observation is off; sampled on
         #: state change (inject/deliver), never on a clock
         self._obs = env.obs
+        #: fault injector, or None for an ideal (paper) interconnect
+        self._faults = env.faults
         #: optional message log for network-level debugging: tuples of
         #: (inject_time, deliver_time, kind, src, dst, nbytes)
         self.record_messages = record_messages
@@ -151,13 +160,20 @@ class Network:
             raise ValueError(f"message to self: {msg!r}")
         msg.inject_time = self.env.now
         transit = self.wire_time(msg)
-        msg.deliver_time = self.env.now + transit
 
-        self._in_flight += 1
+        dropped = duplicated = False
+        if self._faults is not None:
+            dropped, duplicated, extra = self._faults.message_fate(
+                msg.kind.value
+            )
+            if extra > 0.0:
+                transit += extra
+                self.stats.total_jitter += extra
+
+        msg.deliver_time = -1.0 if dropped else self.env.now + transit
+
         self.stats.messages += 1
         self.stats.bytes += msg.nbytes
-        self.stats.total_wire_time += transit
-        self.stats.max_in_flight = max(self.stats.max_in_flight, self._in_flight)
         self.stats.by_kind[msg.kind.value] = (
             self.stats.by_kind.get(msg.kind.value, 0) + 1
         )
@@ -172,6 +188,28 @@ class Network:
                     msg.nbytes,
                 )
             )
+
+        if dropped:
+            # The message vanishes in transit: it never reaches the
+            # destination's receive queue and stops loading the wire.
+            self.stats.dropped += 1
+            if self._obs is not None:
+                self._obs.instant(
+                    msg.src,
+                    "fault.msg_drop",
+                    self.env.now,
+                    kind=msg.kind.value,
+                    dst=msg.dst,
+                    msg_id=msg.msg_id,
+                )
+                self._obs.counter(
+                    "net.dropped", self.env.now, self.stats.dropped
+                )
+            return transit
+
+        self._in_flight += 1
+        self.stats.total_wire_time += transit
+        self.stats.max_in_flight = max(self.stats.max_in_flight, self._in_flight)
         if self._obs is not None:
             now = self.env.now
             self._obs.counter("net.in_flight", now, self._in_flight)
@@ -179,6 +217,27 @@ class Network:
 
         deliver = self.env.timeout(transit, msg)
         deliver.callbacks.append(self._deliver)
+
+        if duplicated:
+            # A second copy arrives after an independently priced
+            # transit (the network state may have changed meanwhile).
+            self.stats.duplicated += 1
+            dup_transit = self.wire_time(msg)
+            self._in_flight += 1
+            self.stats.max_in_flight = max(
+                self.stats.max_in_flight, self._in_flight
+            )
+            dup = self.env.timeout(dup_transit, msg)
+            dup.callbacks.append(self._deliver)
+            if self._obs is not None:
+                self._obs.instant(
+                    msg.src,
+                    "fault.msg_dup",
+                    self.env.now,
+                    kind=msg.kind.value,
+                    dst=msg.dst,
+                    msg_id=msg.msg_id,
+                )
         return transit
 
     def _deliver(self, ev) -> None:

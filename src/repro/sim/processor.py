@@ -64,6 +64,13 @@ class SimProcessor:
         self.out_events: List[TraceEvent] = []
         #: fires when the replay reaches THREAD_END
         self.done: Event = Event(env)
+        #: replay progress: actions completed so far (the watchdog's
+        #: per-processor progress token)
+        self.actions_done = 0
+        #: why this processor is parked, when it is (set after the
+        #: retry budget for a remote access is exhausted); surfaced in
+        #: the watchdog's SimulationStalled diagnosis
+        self.blocked_reason: str | None = None
 
         # Pre-bound hot-path helpers: the replay loop busies/unblocks once
         # per action, so shave the attribute chains off every step.
@@ -75,6 +82,10 @@ class SimProcessor:
         #: cost every hook site pays then is one ``is None`` test)
         self._obs = env.obs
         self._rxq_counter = f"proc{pid}.rxq_depth"
+        #: fault injector (None = ideal machine) and its plan; captured
+        #: once so the fault-free replay pays one ``is None`` test
+        self._faults = env.faults
+        self._fault_plan = self._faults.plan if self._faults is not None else None
 
     # -- delivery hook for the network --------------------------------------------
 
@@ -141,6 +152,7 @@ class SimProcessor:
                 break
             else:  # pragma: no cover - exhaustive
                 raise AssertionError(f"unhandled action {action}")
+            self.actions_done += 1
         self._record(EventKind.THREAD_END)
         self.stats.end_time = self.env.now
         if self._obs is not None:
@@ -155,6 +167,24 @@ class SimProcessor:
 
     def _compute(self, duration: float) -> Generator:
         scaled = duration * self._mips_ratio
+        if self._faults is not None:
+            factor = self._faults.straggle_factor()
+            if factor > 1.0:
+                # A transient straggler interval (OS noise, throttling,
+                # a co-tenant): this one action runs slowed.
+                extra = scaled * (factor - 1.0)
+                scaled += extra
+                self.stats.stragglers += 1
+                self.stats.straggler_time += extra
+                self._faults.note_straggler_time(extra)
+                if self._obs is not None:
+                    self._obs.instant(
+                        self.pid,
+                        "fault.straggler",
+                        self.env.now,
+                        factor=factor,
+                        extra_us=extra,
+                    )
         policy = self._policy
         if policy is RemoteServicePolicy.NO_INTERRUPT:
             # Inlined _busy("compute"): this is the dominant action kind,
@@ -257,13 +287,106 @@ class SimProcessor:
             )
         yield from self._send(msg, "comm_overhead")
         t0, busy0 = self.env.now, self.stats.busy_total
-        yield from self._await_serving(reply_ev)
+        plan = self._fault_plan
+        if plan is not None and plan.request_timeout > 0.0:
+            yield from self._await_reply_retry(msg, reply_ev, owner, write)
+        else:
+            yield from self._await_serving(reply_ev)
         self.stats.comm_wait += (self.env.now - t0) - (self.stats.busy_total - busy0)
         self.stats.remote_accesses += 1
         if self._obs is not None:
             # The whole reply-wait episode; nested busy spans are the
             # requests serviced while blocked.
             self._obs.span(self.pid, "comm_wait", t0, self.env.now)
+
+    def _await_reply_retry(
+        self, msg: Message, reply_ev: Event, owner: int, write: bool
+    ) -> Generator:
+        """Wait for a reply under the timeout/bounded-retry protocol.
+
+        Each timeout retransmits the request (same ``msg_id``, so a
+        slow original reply still completes the access) with the
+        timeout stretched by ``retry_backoff``.  When the retry budget
+        is exhausted the access is abandoned: the processor parks with
+        a ``blocked_reason`` and waits indefinitely — on a fully
+        partitioned route the watchdog then raises
+        :class:`~repro.des.engine.SimulationStalled` naming it.
+        """
+        plan = self._fault_plan
+        deadline = plan.request_timeout
+        attempt = 0
+        while True:
+            timer = self._timeout(deadline)
+            yield from self._await_either_serving(reply_ev, timer)
+            if reply_ev.triggered:
+                return
+            assert timer.processed
+            attempt += 1
+            self.stats.timeouts += 1
+            if self._obs is not None:
+                self._obs.instant(
+                    self.pid,
+                    "fault.timeout",
+                    self.env.now,
+                    owner=owner,
+                    msg_id=msg.msg_id,
+                    attempt=attempt,
+                )
+            if attempt > plan.max_retries:
+                self.stats.retry_giveups += 1
+                self.blocked_reason = (
+                    f"remote {'write' if write else 'read'} to proc {owner} "
+                    f"gave up after {attempt} timeouts "
+                    f"(msg {msg.msg_id}, {plan.max_retries} retries)"
+                )
+                if self._obs is not None:
+                    self._obs.instant(
+                        self.pid,
+                        "fault.retry_giveup",
+                        self.env.now,
+                        owner=owner,
+                        msg_id=msg.msg_id,
+                    )
+                yield from self._await_serving(reply_ev)
+                self.blocked_reason = None
+                return
+            self.stats.retries += 1
+            if self._obs is not None:
+                self._obs.instant(
+                    self.pid,
+                    "fault.retry",
+                    self.env.now,
+                    owner=owner,
+                    msg_id=msg.msg_id,
+                    attempt=attempt,
+                )
+            deadline *= plan.retry_backoff
+            retransmit = Message(
+                msg.kind,
+                src=msg.src,
+                dst=msg.dst,
+                nbytes=msg.nbytes,
+                msg_id=msg.msg_id,
+                reply_nbytes=msg.reply_nbytes,
+                attempt=attempt,
+            )
+            yield from self._send(retransmit, "comm_overhead")
+
+    def _await_either_serving(self, target: Event, timer: Event) -> Generator:
+        """Wait for ``target`` or ``timer`` while servicing arrivals.
+
+        ``timer`` is a :class:`~repro.des.events.Timeout`, which is born
+        in the TRIGGERED (= scheduled) state — only ``processed`` says it
+        actually expired, so that is what both the loop condition and the
+        caller must test.
+        """
+        while not target.triggered and not timer.processed:
+            get_ev = self.inbox.get()
+            yield AnyOf(self.env, [target, timer, get_ev])
+            if get_ev.triggered:
+                yield from self._dispatch(get_ev.value)
+            else:
+                self.inbox.cancel(get_ev)
 
     def _send(self, msg: Message, category: str) -> Generator:
         """Build and inject a message (sender-side busy costs)."""
@@ -324,13 +447,25 @@ class SimProcessor:
                 "service",
             )
         elif msg.kind in (MsgKind.REPLY, MsgKind.WRITE_ACK):
-            try:
-                ev = self.pending_replies.pop(msg.msg_id)
-            except KeyError:
+            ev = self.pending_replies.pop(msg.msg_id, None)
+            if ev is None:
+                if self._faults is not None:
+                    # A late duplicate: the access already completed via
+                    # an earlier copy (retransmission or network
+                    # duplication).  Tolerate and count it.
+                    self.stats.late_replies += 1
+                    if self._obs is not None:
+                        self._obs.instant(
+                            self.pid,
+                            "fault.late_reply",
+                            self.env.now,
+                            msg_id=msg.msg_id,
+                        )
+                    return
                 raise RuntimeError(
                     f"processor {self.pid}: unexpected {msg!r} "
                     "(no pending request with that id)"
-                ) from None
+                )
             ev.succeed(msg)
         elif msg.kind is MsgKind.BARRIER_ARRIVE:
             yield from self.coordinator.on_arrive(self, msg)

@@ -15,6 +15,7 @@ from repro.trace.trace import ThreadTrace, TraceMeta
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.parameters import SimulationParameters
+    from repro.faults.injector import FaultStats
     from repro.obs.recorder import Timeline
     from repro.perf import SimulationProfile
     from repro.sim.network import NetworkStats
@@ -54,6 +55,22 @@ class ProcessorStats:
     polls: int = 0
     messages_sent: int = 0
     messages_received: int = 0
+    # -- fault-model counters (non-zero only under a fault plan) ---------
+    #: remote-access retransmissions issued after a reply timeout
+    retries: int = 0
+    #: reply timeouts observed (every retry starts with one)
+    timeouts: int = 0
+    #: replies/acks that arrived for an already-completed request
+    #: (late duplicates from retransmission or network duplication)
+    late_replies: int = 0
+    #: remote accesses abandoned after exhausting the retry budget
+    retry_giveups: int = 0
+    #: compute actions that ran slowed by a straggler interval
+    stragglers: int = 0
+    #: extra busy time those straggler intervals cost
+    straggler_time: float = 0.0
+    #: barrier arrivals the fault plan delayed
+    barrier_delays: int = 0
 
     def add(self, category: str, duration: float) -> None:
         """Record ``duration`` of busy time under ``category``."""
@@ -103,6 +120,9 @@ class SimulationResult:
     #: recorded timeline of the simulated execution; set when the
     #: simulator ran with ``observe=True`` (see :mod:`repro.obs`)
     timeline: Optional["Timeline"] = None
+    #: injected-fault counters; set when the simulation ran under a
+    #: non-null fault plan (see :mod:`repro.faults`)
+    faults: Optional["FaultStats"] = None
 
     @property
     def n_processors(self) -> int:
@@ -118,6 +138,25 @@ class SimulationResult:
 
     def total_barrier_time(self) -> float:
         return sum(p.barrier_time for p in self.processors)
+
+    def fault_totals(self) -> Dict[str, float]:
+        """Summed fault-protocol counters across processors + network.
+
+        All zeros for a fault-free run; cheap enough to call
+        unconditionally from reporting code.
+        """
+        return {
+            "retries": sum(p.retries for p in self.processors),
+            "timeouts": sum(p.timeouts for p in self.processors),
+            "late_replies": sum(p.late_replies for p in self.processors),
+            "retry_giveups": sum(p.retry_giveups for p in self.processors),
+            "stragglers": sum(p.stragglers for p in self.processors),
+            "straggler_time": sum(p.straggler_time for p in self.processors),
+            "barrier_delays": sum(p.barrier_delays for p in self.processors),
+            "messages_dropped": self.network.dropped,
+            "messages_duplicated": self.network.duplicated,
+            "total_jitter": self.network.total_jitter,
+        }
 
     def comp_comm_ratio(self) -> float:
         """Computation / communication ratio (inf when no communication)."""

@@ -8,7 +8,8 @@ from typing import List, Optional
 
 from repro.core.parameters import SimulationParameters
 from repro.core.translation import TranslatedProgram
-from repro.des import Deadlock, Environment
+from repro.des import Deadlock, Environment, SimulationStalled, Watchdog
+from repro.faults.injector import FaultInjector
 from repro.obs.recorder import TimelineRecorder
 from repro.perf import PhaseTimer, SimulationProfile
 from repro.sim.actions import actions_from_thread_trace
@@ -38,6 +39,8 @@ class Simulator:
         placement=None,
         profile: bool = False,
         observe: bool = False,
+        wall_clock_budget: Optional[float] = None,
+        stall_event_window: int = 2_000_000,
     ):
         """``network_factory(env, n, network_params) -> Network`` lets
         callers substitute a different interconnect model (e.g.
@@ -58,12 +61,28 @@ class Simulator:
         ``env.obs`` before the model components are built, so custom
         network factories inherit observation for free.  Simulation
         results are identical with it on or off.
+
+        When ``params.faults`` is a non-null
+        :class:`~repro.faults.plan.FaultPlan`, a
+        :class:`~repro.faults.injector.FaultInjector` attaches to
+        ``env.faults`` the same way (so custom network factories
+        inherit fault injection too); a null or absent plan attaches
+        nothing and stays byte-identical to the ideal machine.
+
+        ``wall_clock_budget`` (real seconds, None = unlimited) and
+        ``stall_event_window`` (events without forward progress before
+        the run is declared stuck) configure the watchdog; either
+        trigger raises :class:`~repro.des.engine.SimulationStalled`
+        naming the blocked processors and pending barriers instead of
+        hanging.
         """
         if translated.n_threads < 1:
             raise ValueError("translated program has no threads")
         self.translated = translated
         self.params = params
         self.max_events = max_events
+        self.wall_clock_budget = wall_clock_budget
+        self.stall_event_window = stall_event_window
         n = translated.n_threads
 
         self.env = Environment()
@@ -71,6 +90,11 @@ class Simulator:
         if observe:
             self.recorder = TimelineRecorder()
             self.env.obs = self.recorder
+        self.injector: Optional[FaultInjector] = None
+        fault_plan = getattr(params, "faults", None)
+        if fault_plan is not None and not fault_plan.is_null():
+            self.injector = FaultInjector(fault_plan)
+            self.env.faults = self.injector
         self.profile: Optional[SimulationProfile] = None
         if profile:
             self.profile = SimulationProfile(
@@ -141,9 +165,20 @@ class Simulator:
             self.env.process(p.run(), name=f"proc{p.pid}")
 
     def _replay(self) -> None:
-        """Run until every processor's replay is done (the hot loop)."""
+        """Run until every processor's replay is done (the hot loop).
+
+        The loop drains the event queue in watchdog-sized chunks; after
+        each chunk the watchdog compares wall clock and forward
+        progress so a stuck run (bad fault plan, malformed trace)
+        degrades to a diagnosable :class:`SimulationStalled` instead of
+        a hang or a bare deadlock.
+        """
         env = self.env
         all_done = env.all_of([p.done for p in self.processors])
+        watchdog = Watchdog(
+            wall_clock_budget=self.wall_clock_budget,
+            stall_event_window=self.stall_event_window,
+        )
         while True:
             remaining = self.max_events - env.processed_event_count
             if remaining <= 0:
@@ -152,15 +187,55 @@ class Simulator:
                     "(runaway or max_events set too low)"
                 )
             try:
-                if env.run_batched(all_done, max_events=remaining):
+                if env.run_batched(
+                    all_done,
+                    max_events=min(remaining, watchdog.check_interval),
+                ):
                     return
             except Deadlock:
-                stuck = [
-                    p.pid for p in self.processors if not p.done.triggered
-                ]
-                raise RuntimeError(
-                    f"simulation deadlocked; processors {stuck} never finished"
+                raise self._stalled(
+                    "the event queue drained with processors still blocked"
                 ) from None
+            reason = watchdog.check(
+                env.processed_event_count, self._progress()
+            )
+            if reason is not None:
+                raise self._stalled(reason)
+
+    def _progress(self):
+        """Watchdog progress token: changes whenever real work completed."""
+        done = 0
+        actions = 0
+        for p in self.processors:
+            if p.done.triggered:
+                done += 1
+            actions += p.actions_done
+        return done, actions
+
+    def _stalled(self, reason: str) -> SimulationStalled:
+        """Build a one-line :class:`SimulationStalled` diagnosis."""
+        blocked = [
+            (p.pid, p.blocked_reason or "replay not finished")
+            for p in self.processors
+            if not p.done.triggered
+        ]
+        pending = self.coordinator.pending_barriers()
+        parts = [f"simulation stalled at t={self.env.now:.1f} us: {reason}"]
+        if blocked:
+            shown = ", ".join(f"proc {pid}: {why}" for pid, why in blocked[:4])
+            if len(blocked) > 4:
+                shown += f", and {len(blocked) - 4} more"
+            parts.append(f"blocked processors [{shown}]")
+        if pending:
+            shown = ", ".join(
+                f"barrier {bid} ({status})" for bid, status in pending[:3]
+            )
+            if len(pending) > 3:
+                shown += f", and {len(pending) - 3} more"
+            parts.append(f"pending {shown}")
+        return SimulationStalled(
+            "; ".join(parts), blocked=blocked, pending_barriers=pending
+        )
 
     def _collect(self) -> SimulationResult:
         threads = [
@@ -184,6 +259,7 @@ class Simulator:
             network=self.network.stats,
             barrier_count=len(self.coordinator.history),
             timeline=timeline,
+            faults=self.injector.stats if self.injector is not None else None,
         )
 
 
@@ -195,6 +271,7 @@ def simulate(
     placement=None,
     profile: bool = False,
     observe: bool = False,
+    wall_clock_budget: Optional[float] = None,
 ) -> SimulationResult:
     """One-call convenience wrapper around :class:`Simulator`."""
     kwargs = {}
@@ -206,4 +283,6 @@ def simulate(
         kwargs["profile"] = True
     if observe:
         kwargs["observe"] = True
+    if wall_clock_budget is not None:
+        kwargs["wall_clock_budget"] = wall_clock_budget
     return Simulator(translated, params, **kwargs).run()

@@ -18,7 +18,7 @@ Submodules:
 
 from repro.trace.events import EventKind, TraceEvent
 from repro.trace.trace import ThreadTrace, Trace, TraceMeta
-from repro.trace.io import read_trace, write_trace
+from repro.trace.io import TraceReadError, read_trace, write_trace
 from repro.trace.stats import TraceStats, compute_stats
 from repro.trace.validate import TraceValidationError, validate_trace
 
@@ -28,6 +28,7 @@ __all__ = [
     "ThreadTrace",
     "Trace",
     "TraceMeta",
+    "TraceReadError",
     "read_trace",
     "write_trace",
     "TraceStats",

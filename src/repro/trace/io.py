@@ -21,6 +21,22 @@ from typing import BinaryIO, List
 
 from repro.trace.events import EventKind, TraceEvent
 from repro.trace.trace import Trace, TraceMeta
+from repro.util.atomic import atomic_write
+
+
+class TraceReadError(ValueError):
+    """A trace file is malformed (truncated, corrupt, or not a trace).
+
+    The message always names the file, and for line-oriented formats the
+    1-based line number and the offending text, so a corrupted artifact
+    is diagnosable without opening it in an editor.
+    """
+
+
+def _snippet(text: str, limit: int = 60) -> str:
+    text = text.rstrip("\n")
+    return text[:limit] + "..." if len(text) > limit else text
+
 
 _MAGIC = b"XTRP"
 _VERSION = 1
@@ -122,7 +138,7 @@ def read_trace(path: str | Path) -> Trace:
 
 
 def _write_jsonl(trace: Trace, path: Path) -> None:
-    with path.open("w", encoding="utf-8") as fh:
+    with atomic_write(path) as fh:
         fh.write(json.dumps({"meta": dict(trace.meta.to_dict())}) + "\n")
         for ev in trace.events:
             fh.write(json.dumps(dict(ev.to_dict())) + "\n")
@@ -130,11 +146,40 @@ def _write_jsonl(trace: Trace, path: Path) -> None:
 
 def _read_jsonl(path: Path) -> Trace:
     with path.open("r", encoding="utf-8") as fh:
-        header = json.loads(fh.readline())
-        if "meta" not in header:
-            raise ValueError(f"{path}: missing metadata header line")
-        meta = TraceMeta.from_dict(header["meta"])
-        events = [TraceEvent.from_dict(json.loads(line)) for line in fh if line.strip()]
+        header_line = fh.readline()
+        if not header_line.strip():
+            raise TraceReadError(f"{path}:1: empty file, expected a metadata header line")
+        try:
+            header = json.loads(header_line)
+        except json.JSONDecodeError as exc:
+            raise TraceReadError(
+                f"{path}:1: malformed header line ({exc.msg}): "
+                f"{_snippet(header_line)!r}"
+            ) from None
+        if not isinstance(header, dict) or "meta" not in header:
+            raise TraceReadError(
+                f"{path}:1: missing metadata header line: {_snippet(header_line)!r}"
+            )
+        try:
+            meta = TraceMeta.from_dict(header["meta"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise TraceReadError(f"{path}:1: bad trace metadata: {exc}") from None
+        events = []
+        for lineno, line in enumerate(fh, start=2):
+            if not line.strip():
+                continue
+            try:
+                events.append(TraceEvent.from_dict(json.loads(line)))
+            except json.JSONDecodeError as exc:
+                raise TraceReadError(
+                    f"{path}:{lineno}: malformed event line ({exc.msg}): "
+                    f"{_snippet(line)!r}"
+                ) from None
+            except (KeyError, TypeError, ValueError) as exc:
+                raise TraceReadError(
+                    f"{path}:{lineno}: bad trace event ({exc}): "
+                    f"{_snippet(line)!r}"
+                ) from None
     return Trace(meta, events)
 
 
@@ -167,7 +212,7 @@ def _write_binary(trace: Trace, path: Path) -> None:
 
     meta_blob = json.dumps(dict(trace.meta.to_dict())).encode("utf-8")
     strings_blob = json.dumps(strings).encode("utf-8")
-    with path.open("wb") as fh:
+    with atomic_write(path, mode="wb") as fh:
         fh.write(_MAGIC)
         fh.write(struct.pack("<III", _VERSION, len(meta_blob), len(strings_blob)))
         fh.write(meta_blob)
@@ -180,29 +225,57 @@ def _read_binary(path: Path) -> Trace:
     with path.open("rb") as fh:
         magic = fh.read(4)
         if magic != _MAGIC:
-            raise ValueError(f"{path}: not an ExtraP binary trace (magic={magic!r})")
-        version, meta_len, str_len = struct.unpack("<III", fh.read(12))
+            raise TraceReadError(
+                f"{path}: not an ExtraP binary trace (magic={magic!r})"
+            )
+        fixed = fh.read(12)
+        if len(fixed) != 12:
+            raise TraceReadError(f"{path}: truncated trace (incomplete header)")
+        version, meta_len, str_len = struct.unpack("<III", fixed)
         if version != _VERSION:
-            raise ValueError(f"{path}: unsupported trace version {version}")
-        meta = TraceMeta.from_dict(json.loads(fh.read(meta_len)))
-        strings: List[str] = json.loads(fh.read(str_len))
-        (count,) = struct.unpack("<Q", fh.read(8))
+            raise TraceReadError(f"{path}: unsupported trace version {version}")
+        meta_blob = fh.read(meta_len)
+        strings_blob = fh.read(str_len)
+        if len(meta_blob) != meta_len or len(strings_blob) != str_len:
+            raise TraceReadError(
+                f"{path}: truncated trace (incomplete metadata/string table)"
+            )
+        try:
+            meta = TraceMeta.from_dict(json.loads(meta_blob))
+            strings: List[str] = json.loads(strings_blob)
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+            raise TraceReadError(f"{path}: corrupt trace metadata: {exc}") from None
+        count_blob = fh.read(8)
+        if len(count_blob) != 8:
+            raise TraceReadError(f"{path}: truncated trace (missing event count)")
+        (count,) = struct.unpack("<Q", count_blob)
         data = fh.read(count * _REC.size)
         if len(data) != count * _REC.size:
-            raise ValueError(f"{path}: truncated trace (expected {count} records)")
+            raise TraceReadError(
+                f"{path}: truncated trace (expected {count} records, "
+                f"got {len(data) // _REC.size})"
+            )
     events = []
     for off in range(0, len(data), _REC.size):
         t, th, k, b, o, n, ci, gi = _REC.unpack_from(data, off)
+        try:
+            kind = EventKind(k)
+            collection = strings[ci]
+            tag = strings[gi]
+        except (ValueError, IndexError) as exc:
+            raise TraceReadError(
+                f"{path}: corrupt record #{off // _REC.size}: {exc}"
+            ) from None
         events.append(
             TraceEvent(
                 time=t,
                 thread=th,
-                kind=EventKind(k),
+                kind=kind,
                 barrier_id=b,
                 owner=o,
                 nbytes=n,
-                collection=strings[ci],
-                tag=strings[gi],
+                collection=collection,
+                tag=tag,
             )
         )
     return Trace(meta, events)

@@ -14,6 +14,7 @@ from repro.util.units import (
     us_to_ms,
     us_to_s,
 )
+from repro.util.atomic import atomic_write, atomic_write_bytes, atomic_write_text
 from repro.util.log import get_logger, setup_logging
 from repro.util.rng import make_rng, spawn_rngs
 from repro.util.tables import format_table
@@ -21,6 +22,9 @@ from repro.util.asciiplot import ascii_lanes, ascii_series_plot
 
 __all__ = [
     "ascii_lanes",
+    "atomic_write",
+    "atomic_write_bytes",
+    "atomic_write_text",
     "get_logger",
     "setup_logging",
     "MICROSECONDS_PER_SECOND",

@@ -1,0 +1,112 @@
+"""Existing failure paths: deadlock, runaway guard, machine deadlock.
+
+These paths predate the fault-injection subsystem but were largely
+untested; a robustness layer is only as good as the diagnoses under it.
+"""
+
+import pytest
+
+from repro.core import presets
+from repro.core.pipeline import measure
+from repro.core.translation import translate
+from repro.des import Deadlock, Environment, SimulationStalled
+from repro.machine import Machine
+from repro.pcxx import Collection, make_distribution
+from repro.sim.simulator import Simulator
+
+
+def simple_program(n, work_us=1000.0, iters=2):
+    def factory(rt):
+        coll = Collection(
+            "c", make_distribution(n, n, "block"), element_nbytes=64
+        )
+        for i in range(n):
+            coll.poke(i, float(i))
+
+        def body(ctx):
+            for _ in range(iters):
+                yield from ctx.compute_us(work_us)
+                if n > 1:
+                    yield from ctx.get(coll, (ctx.tid + 1) % n, nbytes=8)
+                yield from ctx.barrier()
+
+        return body
+
+    return factory
+
+
+def translated(n, **kw):
+    return translate(measure(simple_program(n, **kw), n, name="simple"))
+
+
+def test_des_deadlock_on_unreachable_event():
+    """The engine raises Deadlock when the queue drains early."""
+    env = Environment()
+    never = env.event()
+
+    def proc():
+        yield never
+
+    env.process(proc())
+    with pytest.raises(Deadlock, match="deadlock"):
+        env.run(never)
+
+
+def test_simulator_max_events_runaway_guard():
+    tp = translated(4)
+    sim = Simulator(tp, presets.distributed_memory(), max_events=50)
+    with pytest.raises(RuntimeError, match="exceeded 50 events"):
+        sim.run()
+
+
+def test_simulator_converts_deadlock_to_stalled():
+    """A trace whose replies can never arrive yields a diagnosis, not a
+    bare Deadlock: stalled runs must name who is blocked."""
+    from dataclasses import replace
+
+    from repro.faults import FaultPlan
+
+    tp = translated(2)
+    plan = FaultPlan(
+        seed=1,
+        msg_loss_rate=1.0,
+        loss_kinds=("request", "reply"),
+        request_timeout=500.0,
+        max_retries=1,
+    )
+    params = replace(presets.distributed_memory(), faults=plan)
+    with pytest.raises(SimulationStalled) as exc_info:
+        Simulator(tp, params).run()
+    assert exc_info.value.blocked
+    assert isinstance(exc_info.value.blocked, tuple)
+    assert isinstance(exc_info.value.pending_barriers, tuple)
+
+
+def test_machine_deadlock_names_stuck_nodes():
+    """One node skips the barrier: the reference machine reports which
+    nodes never finished instead of spinning forever."""
+
+    def factory(machine):
+        def barrier_body(ctx):
+            yield from ctx.compute(100.0)
+            yield from ctx.barrier()
+
+        def skip_body(ctx):
+            yield from ctx.compute(100.0)
+
+        return [barrier_body, skip_body]
+
+    m = Machine(2)
+    with pytest.raises(RuntimeError, match="machine deadlocked"):
+        m.run(factory)
+
+
+def test_simulation_stalled_carries_structured_diagnosis():
+    exc = SimulationStalled(
+        "stalled",
+        blocked=[(0, "why")],
+        pending_barriers=[(3, "1/2 arrivals")],
+    )
+    assert exc.blocked == ((0, "why"),)
+    assert exc.pending_barriers == ((3, "1/2 arrivals"),)
+    assert isinstance(exc, RuntimeError)

@@ -1,0 +1,116 @@
+"""Malformed-trace diagnostics: file, line number, offending text."""
+
+import struct
+
+import pytest
+
+from repro.trace.events import EventKind, TraceEvent
+from repro.trace.io import TraceReadError, read_trace, write_trace
+from repro.trace.trace import Trace, TraceMeta
+
+
+def sample_trace(n=2):
+    return Trace(
+        TraceMeta(program="demo", n_threads=n),
+        [
+            TraceEvent(0.0, 0, EventKind.THREAD_BEGIN),
+            TraceEvent(1.5, 0, EventKind.REMOTE_READ, owner=1, nbytes=128),
+            TraceEvent(3.0, 0, EventKind.THREAD_END),
+        ],
+    )
+
+
+# -- JSONL ------------------------------------------------------------------
+
+
+def test_truncated_jsonl_line_names_file_and_line(tmp_path):
+    path = write_trace(sample_trace(), tmp_path / "t.jsonl")
+    text = path.read_text()
+    path.write_text(text[: len(text) - 20])  # cut mid-final-line
+    with pytest.raises(TraceReadError) as exc_info:
+        read_trace(path)
+    msg = str(exc_info.value)
+    assert "t.jsonl" in msg
+    assert ":4:" in msg  # header + 3 events; the 4th line is broken
+    assert "malformed event line" in msg
+
+
+def test_garbage_event_line_includes_snippet(tmp_path):
+    path = write_trace(sample_trace(), tmp_path / "t.jsonl")
+    lines = path.read_text().splitlines()
+    lines[2] = "not json at all"
+    path.write_text("\n".join(lines) + "\n")
+    with pytest.raises(TraceReadError, match=r"t\.jsonl:3: .*'not json at all'"):
+        read_trace(path)
+
+
+def test_valid_json_but_bad_event_line(tmp_path):
+    path = write_trace(sample_trace(), tmp_path / "t.jsonl")
+    lines = path.read_text().splitlines()
+    lines[1] = '{"totally": "wrong"}'
+    path.write_text("\n".join(lines) + "\n")
+    with pytest.raises(TraceReadError, match=r"t\.jsonl:2: bad trace event"):
+        read_trace(path)
+
+
+def test_empty_file(tmp_path):
+    path = tmp_path / "t.jsonl"
+    path.write_text("")
+    with pytest.raises(TraceReadError, match=r"t\.jsonl:1: empty file"):
+        read_trace(path)
+
+
+def test_missing_meta_header(tmp_path):
+    path = tmp_path / "t.jsonl"
+    path.write_text('{"nope": 1}\n')
+    with pytest.raises(TraceReadError, match="missing metadata header"):
+        read_trace(path)
+
+
+def test_malformed_header(tmp_path):
+    path = tmp_path / "t.jsonl"
+    path.write_text("{broken\n")
+    with pytest.raises(TraceReadError, match=r"t\.jsonl:1: malformed header"):
+        read_trace(path)
+
+
+# -- binary -----------------------------------------------------------------
+
+
+def test_binary_bad_magic(tmp_path):
+    path = tmp_path / "t.bin"
+    path.write_bytes(b"NOPE" + b"\x00" * 16)
+    with pytest.raises(TraceReadError, match="magic"):
+        read_trace(path)
+
+
+def test_binary_truncated_records(tmp_path):
+    path = write_trace(sample_trace(), tmp_path / "t.bin")
+    data = path.read_bytes()
+    path.write_bytes(data[:-10])
+    with pytest.raises(TraceReadError, match="truncated trace"):
+        read_trace(path)
+
+
+def test_binary_truncated_header(tmp_path):
+    path = tmp_path / "t.bin"
+    path.write_bytes(b"XTRP" + b"\x01\x00")
+    with pytest.raises(TraceReadError, match="incomplete header"):
+        read_trace(path)
+
+
+def test_binary_unsupported_version(tmp_path):
+    path = write_trace(sample_trace(), tmp_path / "t.bin")
+    data = bytearray(path.read_bytes())
+    data[4:8] = struct.pack("<I", 99)
+    path.write_bytes(bytes(data))
+    with pytest.raises(TraceReadError, match="version 99"):
+        read_trace(path)
+
+
+def test_trace_read_error_is_value_error(tmp_path):
+    """Callers that caught ValueError before keep working."""
+    path = tmp_path / "t.jsonl"
+    path.write_text("")
+    with pytest.raises(ValueError):
+        read_trace(path)
