@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Sweep a machine design space and read off the Pareto frontier.
+
+The question: for the grid relaxation benchmark, how do network speed,
+topology, and processor speed trade off?  Instead of hand-rolling three
+nested loops, declare the space once and let `repro.sweep` enumerate,
+parallelise, and cache it.  Run this twice — the second run is all
+cache hits.
+
+Run:  python examples/sweep_machine_space.py
+"""
+
+import tempfile
+
+from repro import measure
+from repro.bench.grid import GridConfig, make_program
+from repro.sweep import ResultCache, SweepSpec, run_sweep
+from repro.sweep.analyze import best_record, format_run, pareto_front
+
+SPACE = {
+    "name": "grid-machine-space",
+    "preset": "cm5",
+    "grid": {
+        "network.hop_time": [0.25, 0.5, 1.0],
+        "network.topology": ["fattree", "mesh2d", "ring"],
+        "processor.mips_ratio": [0.41, 1.0],
+    },
+}
+
+
+def main():
+    trace = measure(make_program(GridConfig())(16), 16, name="grid")
+    spec = SweepSpec.from_dict(SPACE)
+    print(f"{spec.name}: {len(spec)} points over {len(SPACE['grid'])} axes\n")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = ResultCache(tmp)
+        run = run_sweep(spec, trace=trace, jobs=4, cache=cache)
+        print(format_run(run))
+        print(run.counters.format())
+
+        # Re-running the same space costs nothing but cache reads.
+        rerun = run_sweep(spec, trace=trace, jobs=1, cache=cache)
+        print(f"rerun: {rerun.counters.format()}")
+        assert rerun.to_json() == run.to_json()
+
+    best = best_record(run)
+    print(f"\nfastest machine: {best.point.label()}")
+    print("on the frontier (time vs message bytes):")
+    for rec in pareto_front(run):
+        r = rec.result
+        print(
+            f"  #{rec.point.index:<3d} {rec.point.label():<55s}"
+            f" {r['predicted_time_us']:>12.1f} us"
+            f" {r['message_bytes']:>10d} B"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -12,7 +12,9 @@ Subcommands::
     extrap report  <trace> --preset cm5      # full debugging report
     extrap study  <bench> --preset distributed_memory -p 1,2,4,8,16,32
     extrap machine <bench> -n 8              # reference CM-5 direct run
-    extrap experiment fig4 [--paper]
+    extrap experiment fig4 [--paper] [--jobs 4]
+    extrap sweep run spec.json --trace t.jsonl --jobs 4   # design-space sweep
+    extrap sweep stats|prune [--cache-dir D] # sweep result cache upkeep
     extrap bench [-o BENCH_engine.json]      # engine perf trajectory
 
 Global flags: ``-v``/``-vv`` or ``--log-level LEVEL`` control status
@@ -34,7 +36,9 @@ from repro.des import SimulationStalled
 from repro.experiments.runner import EXPERIMENTS, run_experiment
 from repro.faults import load_fault_plan
 from repro.metrics.scaling import run_scaling_study
+from repro.sweep.cache import DEFAULT_CACHE_DIR
 from repro.trace import TraceReadError, read_trace, write_trace
+from repro.util.atomic import atomic_write_text
 from repro.util.log import get_logger, level_from_verbosity, setup_logging
 
 log = get_logger("cli")
@@ -297,6 +301,7 @@ def cmd_validate(args) -> int:
         f"{args.trace}: ok ({len(trace)} events, "
         f"{trace.meta.n_threads} threads)"
     )
+    print(f"{args.trace}: sha256 {trace.digest()}")
     return 0
 
 
@@ -416,7 +421,9 @@ def cmd_study(args) -> int:
 
 
 def cmd_experiment(args) -> int:
-    result = run_experiment(args.name, quick=not args.paper)
+    if args.jobs < 1:
+        return _input_error(f"--jobs must be >= 1, got {args.jobs}")
+    result = run_experiment(args.name, quick=not args.paper, jobs=args.jobs)
     print(result.format())
     return 0
 
@@ -424,14 +431,84 @@ def cmd_experiment(args) -> int:
 def cmd_reproduce(args) -> int:
     from repro.experiments.reproduce import reproduce
 
-    index = reproduce(
-        args.out,
-        quick=not args.paper,
-        experiments=args.only or None,
-    )
+    if args.jobs < 1:
+        return _input_error(f"--jobs must be >= 1, got {args.jobs}")
+    try:
+        index = reproduce(
+            args.out,
+            quick=not args.paper,
+            experiments=args.only or None,
+            jobs=args.jobs,
+        )
+    except ValueError as exc:
+        return _input_error(str(exc))
+    except OSError as exc:
+        return _input_error(f"cannot write reports to {args.out}: {exc}")
     print(f"wrote {index}")
     print(index.read_text())
     return 0
+
+
+def cmd_sweep(args) -> int:
+    from repro.sweep import ResultCache, SweepSpec, run_sweep
+    from repro.sweep.analyze import format_run
+
+    if args.sweep_command == "stats":
+        s = ResultCache(args.cache_dir).stats()
+        print(
+            f"cache {s['root']}: {s['entries']} entries, {s['bytes']} bytes"
+        )
+        return 0
+    if args.sweep_command == "prune":
+        removed = ResultCache(args.cache_dir).prune()
+        print(f"pruned {removed} cache entries from {args.cache_dir}")
+        return 0
+
+    if args.jobs < 1:
+        return _input_error(f"--jobs must be >= 1, got {args.jobs}")
+    problem = _require_file(args.spec, "sweep spec")
+    if problem:
+        return _input_error(problem)
+    try:
+        spec = SweepSpec.from_file(args.spec)
+    except ValueError as exc:
+        return _input_error(str(exc))
+    trace = None
+    if args.trace:
+        trace, problem = _load_trace(args.trace)
+        if problem:
+            return _input_error(problem)
+    elif spec.benchmark is None:
+        return _input_error(
+            "sweep needs a trace (--trace FILE) or a 'benchmark' field "
+            "in the spec"
+        )
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    log.info(
+        "sweep %s: %d points, jobs=%d, cache=%s",
+        spec.name, len(spec), args.jobs,
+        "off" if cache is None else args.cache_dir,
+    )
+    try:
+        run = run_sweep(
+            spec,
+            trace=trace,
+            jobs=args.jobs,
+            cache=cache,
+            wall_budget=args.wall_budget,
+            retries=args.retries,
+        )
+    except (KeyError, ValueError) as exc:
+        return _input_error(str(exc))
+    print(format_run(run))
+    print(run.counters.format())
+    if args.output:
+        try:
+            atomic_write_text(args.output, run.to_json())
+        except OSError as exc:
+            return _input_error(f"cannot write results to {args.output}: {exc}")
+        print(f"wrote {args.output}")
+    return 1 if run.counters.failed else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -612,6 +689,14 @@ def build_parser() -> argparse.ArgumentParser:
     e.add_argument(
         "--paper", action="store_true", help="paper-scale problem sizes (slower)"
     )
+    e.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for experiments with internal grids "
+        "(the ablations); 1 = serial",
+    )
 
     rp = sub.add_parser(
         "reproduce", help="run every experiment, write reports to a directory"
@@ -624,6 +709,74 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="EXPERIMENT",
         help="restrict to specific experiments (repeatable)",
     )
+    rp.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=1,
+        help="run experiments across this many worker processes "
+        "(1 = serial; reports are identical either way)",
+    )
+
+    sw = sub.add_parser(
+        "sweep",
+        help="design-space sweeps: run a spec, inspect/prune the result cache",
+    )
+    swsub = sw.add_subparsers(dest="sweep_command", required=True)
+    swr = swsub.add_parser(
+        "run", help="execute a sweep spec and aggregate the results"
+    )
+    swr.add_argument("spec", help="SweepSpec JSON file (see docs/SWEEP.md)")
+    swr.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="extrapolate this measured trace at every point (otherwise "
+        "the spec's 'benchmark' is measured, once per thread count)",
+    )
+    swr.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (1 = serial; output is byte-identical)",
+    )
+    swr.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        help="content-addressed result cache directory",
+    )
+    swr.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="neither read nor write the result cache",
+    )
+    swr.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="re-runs allowed per point after a watchdog stall",
+    )
+    swr.add_argument(
+        "--wall-budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-point wall-clock watchdog budget",
+    )
+    swr.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="write the deterministic result JSON artifact here",
+    )
+    for sub_name, sub_help in (
+        ("stats", "show result-cache entry count and size"),
+        ("prune", "delete every result-cache entry"),
+    ):
+        p_ = swsub.add_parser(sub_name, help=sub_help)
+        p_.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR)
 
     return ap
 
@@ -645,6 +798,7 @@ def main(argv: List[str] | None = None) -> int:
         "study": cmd_study,
         "experiment": cmd_experiment,
         "reproduce": cmd_reproduce,
+        "sweep": cmd_sweep,
     }
     return handlers[args.command](args)
 

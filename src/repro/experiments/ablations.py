@@ -5,11 +5,17 @@ components the paper's simulation architecture advertises (§3.3): the
 barrier algorithm, the interconnect topology, the analytical contention
 model, the poll interval, and instrumentation-overhead compensation in
 the translation step.
+
+The grid-shaped ablations (barrier, topology, contention, poll) route
+their extrapolations through the sweep executor
+(:func:`repro.sweep.executor.extrapolate_many`): pass ``jobs=N`` — the
+CLI's ``extrap experiment NAME --jobs N`` does — to fan the grid across
+worker processes with results identical to the serial loop.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Dict, Sequence, Tuple
 
 from repro.bench.cyclic import make_program as make_cyclic
 from repro.bench.grid import make_program as make_grid
@@ -24,10 +30,36 @@ from repro.experiments.paramsets import (
 )
 from repro.pcxx.runtime import TracingRuntime
 from repro.sim.topology import available_topologies
+from repro.sweep.executor import extrapolate_many
+
+
+def _grid_series(
+    traces: Dict[int, object],
+    variants: Sequence[Tuple[str, object]],
+    counts: Sequence[int],
+    *,
+    jobs: int = 1,
+) -> Dict[str, Dict[int, float]]:
+    """Predicted times for every (variant, count) cell of an ablation grid.
+
+    Builds the flat task list in (variant-major, count-minor) order,
+    runs it through the executor, and folds the results back into the
+    ``{variant: {count: time}}`` shape the experiment tables use.
+    """
+    tasks = [
+        (traces[p], params) for _, params in variants for p in counts
+    ]
+    times = iter(extrapolate_many(tasks, jobs=jobs))
+    return {
+        label: {p: next(times) for p in counts} for label, _ in variants
+    }
 
 
 def barrier_algorithms(
-    *, quick: bool = True, processor_counts: Sequence[int] = PROCESSOR_COUNTS
+    *,
+    quick: bool = True,
+    processor_counts: Sequence[int] = PROCESSOR_COUNTS,
+    jobs: int = 1,
 ) -> ExperimentResult:
     """Linear vs logarithmic vs hardware barriers on Cyclic.
 
@@ -43,11 +75,11 @@ def barrier_algorithms(
         ylabel="execution time (us)",
     )
     traces = {p: measure(maker(p), p, name="cyclic") for p in counts}
-    for alg in ("linear", "log", "hardware"):
-        params = base.with_(barrier={"algorithm": alg})
-        result.series[alg] = {
-            p: extrapolate(traces[p], params).predicted_time for p in counts
-        }
+    variants = [
+        (alg, base.with_(barrier={"algorithm": alg}))
+        for alg in ("linear", "log", "hardware")
+    ]
+    result.series = _grid_series(traces, variants, counts, jobs=jobs)
     top = max(counts)
     lin, log_, hw = (result.series[a][top] for a in ("linear", "log", "hardware"))
     result.notes.append(
@@ -58,7 +90,10 @@ def barrier_algorithms(
 
 
 def topologies(
-    *, quick: bool = True, processor_counts: Sequence[int] = (8, 16, 32)
+    *,
+    quick: bool = True,
+    processor_counts: Sequence[int] = (8, 16, 32),
+    jobs: int = 1,
 ) -> ExperimentResult:
     """Interconnect topology sweep on Grid (actual transfer sizes)."""
     maker = make_grid(grid_config(quick=quick))
@@ -72,12 +107,11 @@ def topologies(
         p: measure(maker(p), p, name="grid", size_mode="actual")
         for p in processor_counts
     }
-    for topo in available_topologies():
-        params = base.with_(network={"topology": topo})
-        result.series[topo] = {
-            p: extrapolate(traces[p], params).predicted_time
-            for p in processor_counts
-        }
+    variants = [
+        (topo, base.with_(network={"topology": topo}))
+        for topo in available_topologies()
+    ]
+    result.series = _grid_series(traces, variants, processor_counts, jobs=jobs)
     top = max(processor_counts)
     bus = result.series["bus"][top]
     xbar = result.series["crossbar"][top]
@@ -89,7 +123,10 @@ def topologies(
 
 
 def contention(
-    *, quick: bool = True, processor_counts: Sequence[int] = (8, 16, 32)
+    *,
+    quick: bool = True,
+    processor_counts: Sequence[int] = (8, 16, 32),
+    jobs: int = 1,
 ) -> ExperimentResult:
     """Analytical contention model on/off and strength sweep (Grid)."""
     maker = make_grid(grid_config(quick=quick))
@@ -103,22 +140,24 @@ def contention(
         p: measure(maker(p), p, name="grid", size_mode="actual")
         for p in processor_counts
     }
-    for label, overrides in [
-        ("off", {"contention": False}),
-        ("factor=0.5", {"contention": True, "contention_factor": 0.5}),
-        ("factor=1.0", {"contention": True, "contention_factor": 1.0}),
-        ("factor=2.0", {"contention": True, "contention_factor": 2.0}),
-    ]:
-        params = base.with_(network=overrides)
-        result.series[label] = {
-            p: extrapolate(traces[p], params).predicted_time
-            for p in processor_counts
-        }
+    variants = [
+        (label, base.with_(network=overrides))
+        for label, overrides in [
+            ("off", {"contention": False}),
+            ("factor=0.5", {"contention": True, "contention_factor": 0.5}),
+            ("factor=1.0", {"contention": True, "contention_factor": 1.0}),
+            ("factor=2.0", {"contention": True, "contention_factor": 2.0}),
+        ]
+    ]
+    result.series = _grid_series(traces, variants, processor_counts, jobs=jobs)
     return result
 
 
 def poll_interval(
-    *, quick: bool = True, processor_counts: Sequence[int] = (8, 16, 32)
+    *,
+    quick: bool = True,
+    processor_counts: Sequence[int] = (8, 16, 32),
+    jobs: int = 1,
 ) -> ExperimentResult:
     """Poll-interval sweep on Cyclic ("an optimal choice of the polling
     interval is certainly system and likely problem specific")."""
@@ -131,13 +170,14 @@ def poll_interval(
         ylabel="execution time (us)",
     )
     traces = {p: measure(maker(p), p, name="cyclic") for p in counts}
-    for interval in (25.0, 100.0, 400.0, 1600.0):
-        params = base.with_(
-            processor={"policy": "poll", "poll_interval": interval}
+    variants = [
+        (
+            f"poll@{interval:g}us",
+            base.with_(processor={"policy": "poll", "poll_interval": interval}),
         )
-        result.series[f"poll@{interval:g}us"] = {
-            p: extrapolate(traces[p], params).predicted_time for p in counts
-        }
+        for interval in (25.0, 100.0, 400.0, 1600.0)
+    ]
+    result.series = _grid_series(traces, variants, counts, jobs=jobs)
     return result
 
 

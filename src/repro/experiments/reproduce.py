@@ -3,20 +3,41 @@
 ``extrap reproduce --out results/`` regenerates the paper's evaluation
 into files — one text report per experiment plus an index — so a review
 of this reproduction can diff artefacts instead of reading terminals.
+``--jobs N`` fans independent experiments across worker processes
+through the sweep executor (:mod:`repro.sweep.executor`); the reports
+and the index row order are identical to a serial run, only the wall
+time changes.
 """
 
 from __future__ import annotations
 
 import time
 from pathlib import Path
-from typing import Dict, List, Sequence
+from typing import List, Sequence, Tuple
 
 from repro.experiments import tables
 from repro.experiments.runner import EXPERIMENTS, run_experiment
+from repro.sweep.executor import ParallelExecutor
 from repro.util.atomic import atomic_write_text
 from repro.util.log import get_logger
 
 log = get_logger("experiments.reproduce")
+
+
+def _experiment_task(task: Tuple[str, bool]) -> dict:
+    """Worker: run one experiment and return its rendered artefacts.
+
+    Top-level (hence picklable) and returning plain strings, so it runs
+    identically in-process (``jobs=1``) and in a pool worker.
+    """
+    name, quick = task
+    t0 = time.perf_counter()
+    result = run_experiment(name, quick=quick)
+    return {
+        "text": result.format(),
+        "csv": result.to_csv(),
+        "seconds": time.perf_counter() - t0,
+    }
 
 
 def reproduce(
@@ -24,6 +45,7 @@ def reproduce(
     *,
     quick: bool = True,
     experiments: Sequence[str] | None = None,
+    jobs: int = 1,
 ) -> Path:
     """Run experiments and write one report file each plus an index.
 
@@ -44,6 +66,15 @@ def reproduce(
         "\n\n".join([tables.table1(), tables.table2(), tables.table3()]) + "\n",
     )
 
+    log.info(
+        "running %d experiments with %d job%s",
+        len(names), jobs, "" if jobs == 1 else "s",
+    )
+    executor = ParallelExecutor(jobs, progress_label="experiment")
+    outcomes = executor.map(
+        _experiment_task, [(name, quick) for name in names]
+    )
+
     index_rows: List[str] = [
         "# Reproduction run",
         "",
@@ -53,21 +84,20 @@ def reproduce(
         "|---|---|---|---|",
         "| tables 1-3 | ok | - | [tables.txt](tables.txt) |",
     ]
-    for i, name in enumerate(names, 1):
+    for name, outcome in zip(names, outcomes):
         path = out / f"{name}.txt"
-        log.info("[%d/%d] running %s", i, len(names), name)
-        t0 = time.perf_counter()
-        try:
-            result = run_experiment(name, quick=quick)
-            atomic_write_text(path, result.format() + "\n")
-            atomic_write_text(out / f"{name}.csv", result.to_csv())
+        if outcome.ok:
+            atomic_write_text(path, outcome.value["text"] + "\n")
+            atomic_write_text(out / f"{name}.csv", outcome.value["csv"])
             status = "ok"
-        except Exception as exc:  # record, keep going
-            atomic_write_text(path, f"FAILED: {exc!r}\n")
-            status = f"FAILED ({type(exc).__name__})"
-            log.warning("%s failed: %r", name, exc)
-        elapsed = time.perf_counter() - t0
-        log.info("[%d/%d] %s: %s in %.1f s", i, len(names), name, status, elapsed)
+            elapsed = outcome.value["seconds"]
+        else:
+            atomic_write_text(
+                path, f"FAILED: {outcome.error_type}: {outcome.error}\n"
+            )
+            status = f"FAILED ({outcome.error_type})"
+            elapsed = 0.0
+            log.warning("%s failed: %s: %s", name, outcome.error_type, outcome.error)
         index_rows.append(
             f"| {name} | {status} | {elapsed:.1f} | [{path.name}]({path.name}) |"
         )

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import difflib
+import inspect
 from typing import Callable, Dict
 
 from repro.experiments import (
@@ -41,13 +43,28 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
 }
 
 
-def run_experiment(name: str, *, quick: bool = True, **kwargs) -> ExperimentResult:
-    """Run one experiment by registry name."""
+def run_experiment(
+    name: str, *, quick: bool = True, jobs: int = 1, **kwargs
+) -> ExperimentResult:
+    """Run one experiment by registry name.
+
+    ``jobs`` is forwarded to experiments whose run function accepts it
+    (the ablation grids fan their extrapolations across processes via
+    :func:`repro.sweep.executor.extrapolate_many`); experiments without
+    internal parallelism simply run serially.
+    """
+    key = name.strip().lower()
     try:
-        fn = EXPERIMENTS[name.strip().lower()]
+        fn = EXPERIMENTS[key]
     except KeyError:
+        close = difflib.get_close_matches(key, sorted(EXPERIMENTS), n=3)
+        hint = (
+            f"; did you mean {', '.join(repr(c) for c in close)}?" if close else ""
+        )
         raise ValueError(
-            f"unknown experiment {name!r}; available: {sorted(EXPERIMENTS)}"
+            f"unknown experiment {name!r}{hint}; available: {sorted(EXPERIMENTS)}"
         ) from None
+    if jobs != 1 and "jobs" in inspect.signature(fn).parameters:
+        kwargs["jobs"] = jobs
     log.debug("running experiment %s (quick=%s)", name, quick)
     return fn(quick=quick, **kwargs)

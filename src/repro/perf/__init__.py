@@ -10,12 +10,14 @@ on itself cheaply.  This package holds the pieces:
   per named phase;
 * :class:`SimulationProfile` — the bundle exported as
   ``SimulationResult.profile`` by ``Simulator(..., profile=True)``;
+* :class:`SweepCounters` — cache hit/miss and throughput accounting
+  filled by the design-space sweep executor (:mod:`repro.sweep`);
 * :mod:`repro.perf.bench` — the seeded benchmark harness behind
   ``BENCH_engine.json`` (imported explicitly, not re-exported, so this
   package stays import-light for the engine).
 """
 
-from repro.perf.counters import EngineCounters
+from repro.perf.counters import EngineCounters, SweepCounters
 from repro.perf.profile import SimulationProfile
 from repro.perf.timers import PhaseRecord, PhaseTimer
 
@@ -24,4 +26,5 @@ __all__ = [
     "PhaseRecord",
     "PhaseTimer",
     "SimulationProfile",
+    "SweepCounters",
 ]

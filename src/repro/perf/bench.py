@@ -1,12 +1,14 @@
 """Engine benchmark harness: the perf trajectory behind ``BENCH_engine.json``.
 
-Three seeded reference workloads exercise the layers of the hot path:
+Four seeded reference workloads exercise the layers of the hot path:
 
 * ``timeout_chain`` — the pure event loop (Timeout-only, the
   ``run_batched`` fast-path case);
 * ``pingpong`` — processes + stores (get/put/timeout churn);
 * ``simulator`` — a full trace-driven replay (8 processors, the
-  distributed-memory preset) through :class:`repro.sim.Simulator`.
+  distributed-memory preset) through :class:`repro.sim.Simulator`;
+* ``sweep`` — a cold-then-warm design-space sweep through
+  :func:`repro.sweep.run_sweep` (points/s plus warm-cache hit rate).
 
 :func:`run_benchmarks` times each (best of N repeats) and
 :func:`write_baseline` persists the result as ``BENCH_engine.json`` so
@@ -99,11 +101,47 @@ def simulator_replay(n_threads: int = 8, iters: int = 6) -> int:
     return sim.env.processed_event_count
 
 
-#: name -> (workload(scaled_size) -> processed event count, base size)
+def sweep_points(n_points: int = 8) -> dict:
+    """A sweep run cold then warm: executor throughput + cache hit rate.
+
+    Counts one "event" per evaluated point (cold pass executes, warm
+    pass should be all cache hits), so events/s is sweep points/s.
+    """
+    import tempfile
+
+    from repro.bench.suite import get_benchmark
+    from repro.core.pipeline import measure
+    from repro.sweep import ResultCache, SweepSpec, run_sweep
+
+    info = get_benchmark("embar")
+    trace = measure(info.make_program()(4), 4, name="embar")
+    spec = SweepSpec.from_dict(
+        {
+            "name": "bench",
+            "preset": "cm5",
+            "grid": {
+                "network.hop_time": [0.25 * (i + 1) for i in range(n_points)]
+            },
+        }
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = ResultCache(tmp)
+        run_sweep(spec, trace=trace, cache=cache)
+        warm = run_sweep(spec, trace=trace, cache=cache)
+    return {
+        "events": 2 * len(spec),
+        "cache_hit_rate": warm.counters.hit_rate,
+    }
+
+
+#: name -> (workload(scaled_size) -> processed event count, base size).
+#: A workload may instead return a dict with an ``"events"`` key plus
+#: extra metrics to merge into its results record.
 WORKLOADS: Dict[str, tuple] = {
     "timeout_chain": (timeout_chain, 20_000),
     "pingpong": (pingpong, 5_000),
     "simulator": (simulator_replay, 8),
+    "sweep": (sweep_points, 8),
 }
 
 
@@ -125,20 +163,30 @@ def run_benchmarks(
     selected = WORKLOADS if workloads is None else {
         name: WORKLOADS[name] for name in workloads
     }
+    # These two keep their shape under --scale: the simulator replay's
+    # structure is its workload, and the sweep's fixed trace-measurement
+    # overhead would otherwise dominate at small point counts.
+    fixed_shape = ("simulator", "sweep")
     for name, (fn, base_size) in selected.items():
-        size = base_size if name == "simulator" else max(1, int(base_size * scale))
+        size = base_size if name in fixed_shape else max(1, int(base_size * scale))
         fn(size)  # warm-up run (imports, allocator)
         best = float("inf")
-        events = 0
+        out = 0
         for _ in range(repeats):
             t0 = time.perf_counter()
-            events = fn(size)
+            out = fn(size)
             best = min(best, time.perf_counter() - t0)
+        if isinstance(out, dict):
+            events = out["events"]
+            extras = {k: v for k, v in out.items() if k != "events"}
+        else:
+            events, extras = out, {}
         results[name] = {
             "size": size,
             "events": events,
             "best_s": best,
             "events_per_s": events / best if best > 0 else None,
+            **extras,
         }
     return {
         "schema": SCHEMA_VERSION,
@@ -181,6 +229,8 @@ def format_results(results: dict, baseline: dict | None = None) -> str:
         ref = base_wl.get(name, {}).get("events_per_s")
         if ref:
             line += f"  ({rate / ref:.2f}x baseline)"
+        if "cache_hit_rate" in r:
+            line += f"  [warm hit rate {r['cache_hit_rate']:.0%}]"
         lines.append(line)
     return "\n".join(lines)
 

@@ -71,3 +71,59 @@ class EngineCounters:
         ):
             lines.append(f"  {name:16s} {count}")
         return "\n".join(lines)
+
+
+@dataclass
+class SweepCounters:
+    """Throughput and cache accounting for one sweep run.
+
+    Filled by :func:`repro.sweep.executor.run_sweep`: how many points
+    the spec expanded to, how the cache answered, how many actually
+    executed (including watchdog-triggered retries), and the wall time.
+    Everything here is observability — none of it participates in the
+    sweep's result artifact, which must stay byte-identical across
+    ``--jobs`` settings and cache states.
+    """
+
+    points_total: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    executed: int = 0
+    retried: int = 0
+    failed: int = 0
+    wall_s: float = 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        """Cache hit fraction over all lookups (0.0 with caching off)."""
+        looked_up = self.cache_hits + self.cache_misses
+        return self.cache_hits / looked_up if looked_up else 0.0
+
+    @property
+    def points_per_s(self) -> float:
+        """End-to-end sweep throughput (cached points included)."""
+        return self.points_total / self.wall_s if self.wall_s > 0 else 0.0
+
+    def as_dict(self) -> dict:
+        """JSON-serialisable snapshot."""
+        return {
+            "points_total": self.points_total,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "executed": self.executed,
+            "retried": self.retried,
+            "failed": self.failed,
+            "wall_s": self.wall_s,
+            "hit_rate": self.hit_rate,
+            "points_per_s": self.points_per_s,
+        }
+
+    def format(self) -> str:
+        """One-line summary for CLI output."""
+        line = (
+            f"cache: {self.cache_hits} hits, {self.cache_misses} misses "
+            f"({self.hit_rate:.0%} hit rate)"
+        )
+        if self.failed:
+            line += f"; {self.failed} points FAILED"
+        return line

@@ -1,0 +1,47 @@
+"""repro.sweep — parallel design-space exploration with result caching.
+
+The paper asks one what-if question at a time; this subsystem asks them
+in bulk.  A declarative :class:`SweepSpec` (grid or point list over
+parameter fields, presets, fault plans, thread counts) expands into a
+deterministic point sequence; :func:`run_sweep` fans the points out
+across CPU cores with a serial fallback, answers repeats from a
+content-addressed on-disk :class:`ResultCache`, and the
+:mod:`repro.sweep.analyze` helpers aggregate the outcomes into
+comparison tables, a best configuration, and a 2-objective Pareto
+frontier.  ``extrap sweep run|stats|prune`` is the CLI face.
+
+Guarantees the rest of the repo relies on:
+
+* ``jobs=N`` output is byte-identical to ``jobs=1`` (ordered
+  collection by point index);
+* a second run of the same spec over the same trace is answered
+  entirely from cache (content addressing over trace digest +
+  canonical parameters + package version);
+* a corrupted cache entry is a miss, never a crash.
+"""
+
+from repro.sweep.cache import DEFAULT_CACHE_DIR, ResultCache, result_key
+from repro.sweep.executor import (
+    ParallelExecutor,
+    PointRecord,
+    SweepRun,
+    TaskOutcome,
+    extrapolate_many,
+    run_sweep,
+)
+from repro.sweep.spec import SweepPoint, SweepSpec, params_canonical_dict
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "ParallelExecutor",
+    "PointRecord",
+    "ResultCache",
+    "SweepPoint",
+    "SweepRun",
+    "SweepSpec",
+    "TaskOutcome",
+    "extrapolate_many",
+    "params_canonical_dict",
+    "result_key",
+    "run_sweep",
+]

@@ -8,6 +8,8 @@ the unit the translation algorithm emits and the simulator replays.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, Iterator, List, Mapping, Sequence
 
@@ -114,6 +116,32 @@ class Trace:
     def barrier_count(self) -> int:
         """Number of distinct barrier episodes in the trace."""
         return len({e.barrier_id for e in self.events if e.kind == EventKind.BARRIER_ENTER})
+
+    def digest(self) -> str:
+        """Stable SHA-256 of the trace content (hex).
+
+        Hashes the metadata (canonical sorted-key JSON) and every event
+        field through an encoding independent of the on-disk format, so
+        a trace has the same digest whether it was just measured, read
+        from ``.jsonl``, or read from ``.bin``.  Used as the trace part
+        of sweep cache keys (:mod:`repro.sweep.cache`) and reported by
+        ``extrap validate``.  ``race_findings`` are in-memory
+        diagnostics and do not participate.
+        """
+        h = hashlib.sha256()
+        h.update(
+            json.dumps(dict(self.meta.to_dict()), sort_keys=True).encode("utf-8")
+        )
+        for ev in self.events:
+            # repr() of a float is exact round-trip text, so equal
+            # timestamps always hash equally.
+            h.update(
+                (
+                    f"\n{ev.time!r}|{ev.thread}|{int(ev.kind)}|{ev.barrier_id}"
+                    f"|{ev.owner}|{ev.nbytes}|{ev.collection}|{ev.tag}"
+                ).encode("utf-8")
+            )
+        return h.hexdigest()
 
     @classmethod
     def from_thread_traces(

@@ -162,7 +162,9 @@ def test_bench_update_baseline(tmp_path, capsys, monkeypatch):
     assert baseline.exists()
     data = json.loads(baseline.read_text())
     assert data["schema"] == 1
-    assert set(data["workloads"]) == {"timeout_chain", "pingpong", "simulator"}
+    assert set(data["workloads"]) == {
+        "timeout_chain", "pingpong", "simulator", "sweep",
+    }
     # Second run compares against it, then rewrites in place.
     assert main(args) == 0
     out = capsys.readouterr().out

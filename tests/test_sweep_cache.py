@@ -1,0 +1,109 @@
+"""Result cache: content addressing, invalidation, corruption recovery."""
+
+import json
+
+import pytest
+
+from dataclasses import replace
+
+from repro.core.presets import by_name
+from repro.sweep.cache import CACHE_SCHEMA, ResultCache, result_key
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+DIGEST = "ab" * 32
+
+
+def test_key_is_stable_and_hex():
+    params = by_name("cm5")
+    k1 = result_key(DIGEST, params)
+    k2 = result_key(DIGEST, params)
+    assert k1 == k2
+    assert len(k1) == 64 and int(k1, 16) >= 0
+
+
+def test_key_changes_with_parameters():
+    base = by_name("cm5")
+    k_base = result_key(DIGEST, base)
+    changed = replace(base, network=replace(base.network, hop_time=99.0))
+    assert result_key(DIGEST, changed) != k_base
+    # The cosmetic preset name is NOT part of the identity.
+    renamed = replace(base, name="other")
+    assert result_key(DIGEST, renamed) == k_base
+
+
+def test_key_changes_with_trace_and_version():
+    params = by_name("cm5")
+    assert result_key(DIGEST, params) != result_key("cd" * 32, params)
+    assert result_key(DIGEST, params, version="0.0.0-test") != result_key(
+        DIGEST, params
+    )
+
+
+def test_miss_then_hit(cache):
+    params = by_name("cm5")
+    key = result_key(DIGEST, params)
+    assert cache.get(key) is None
+    assert cache.misses == 1 and cache.hits == 0
+    cache.put(key, {"predicted_time_us": 1.5})
+    assert cache.get(key) == {"predicted_time_us": 1.5}
+    assert cache.hits == 1
+
+
+def test_parameter_change_misses(cache):
+    base = by_name("cm5")
+    cache.put(result_key(DIGEST, base), {"v": 1})
+    changed = replace(base, network=replace(base.network, hop_time=99.0))
+    assert cache.get(result_key(DIGEST, changed)) is None
+
+
+def test_version_change_misses(cache):
+    params = by_name("cm5")
+    cache.put(result_key(DIGEST, params), {"v": 1})
+    assert cache.get(result_key(DIGEST, params, version="99.0")) is None
+
+
+def test_corrupted_entry_is_miss_and_removed(cache):
+    key = result_key(DIGEST, by_name("cm5"))
+    cache.put(key, {"v": 1})
+    path = cache.path_for(key)
+    path.write_text("{not json")
+    assert cache.get(key) is None  # no crash
+    assert not path.exists()  # bad entry evicted
+    cache.put(key, {"v": 2})
+    assert cache.get(key) == {"v": 2}
+
+
+def test_wrong_schema_or_key_is_miss(cache):
+    key = result_key(DIGEST, by_name("cm5"))
+    path = cache.path_for(key)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps({"schema": CACHE_SCHEMA + 1, "key": key, "result": {}})
+    )
+    assert cache.get(key) is None
+    cache.put(key, {"v": 1})
+    doc = json.loads(path.read_text())
+    doc["key"] = "f" * 64
+    path.write_text(json.dumps(doc))
+    assert cache.get(key) is None
+
+
+def test_stats_and_prune(cache):
+    assert cache.stats()["entries"] == 0
+    for i in range(3):
+        cache.put(result_key(f"{i:02x}" * 32, by_name("cm5")), {"i": i})
+    stats = cache.stats()
+    assert stats["entries"] == 3 and stats["bytes"] > 0
+    removed = cache.prune()
+    assert removed == 3
+    assert cache.stats()["entries"] == 0
+
+
+def test_entries_shard_by_key_prefix(cache):
+    key = result_key(DIGEST, by_name("cm5"))
+    assert cache.path_for(key).parent.name == key[:2]

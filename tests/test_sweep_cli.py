@@ -1,0 +1,143 @@
+"""The ``extrap sweep`` subcommand and its satellite CLI changes."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+SPEC = {
+    "name": "cli-sweep",
+    "preset": "cm5",
+    "grid": {
+        "network.hop_time": [0.1, 0.2],
+        "processor.mips_ratio": [0.5, 1.0],
+    },
+}
+
+
+@pytest.fixture
+def trace_path(tmp_path):
+    path = tmp_path / "t.jsonl"
+    assert main(["trace", "embar", "-n", "4", "-o", str(path)]) == 0
+    return path
+
+
+@pytest.fixture
+def spec_path(tmp_path):
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(SPEC))
+    return path
+
+
+def test_sweep_run_and_cache_hits(tmp_path, trace_path, spec_path, capsys):
+    cache_dir = tmp_path / "cache"
+    args = [
+        "sweep", "run", str(spec_path),
+        "--trace", str(trace_path),
+        "--cache-dir", str(cache_dir),
+        "-o", str(tmp_path / "a.json"),
+    ]
+    assert main(args) == 0
+    first = capsys.readouterr().out
+    assert "0 hits, 4 misses" in first
+    assert "best config" in first
+
+    args[-1] = str(tmp_path / "b.json")
+    assert main(args) == 0
+    second = capsys.readouterr().out
+    assert "4 hits, 0 misses (100% hit rate)" in second
+    assert (tmp_path / "a.json").read_bytes() == (tmp_path / "b.json").read_bytes()
+
+
+def test_sweep_serial_parallel_artifacts_identical(
+    tmp_path, trace_path, spec_path, capsys
+):
+    for jobs, name in (("1", "s.json"), ("4", "p.json")):
+        assert main([
+            "sweep", "run", str(spec_path),
+            "--trace", str(trace_path),
+            "--no-cache", "--jobs", jobs,
+            "-o", str(tmp_path / name),
+        ]) == 0
+    capsys.readouterr()
+    assert (tmp_path / "s.json").read_bytes() == (tmp_path / "p.json").read_bytes()
+
+
+def test_sweep_stats_and_prune(tmp_path, trace_path, spec_path, capsys):
+    cache_dir = tmp_path / "cache"
+    main([
+        "sweep", "run", str(spec_path),
+        "--trace", str(trace_path), "--cache-dir", str(cache_dir),
+    ])
+    capsys.readouterr()
+    assert main(["sweep", "stats", "--cache-dir", str(cache_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "4 entries" in out
+    assert main(["sweep", "prune", "--cache-dir", str(cache_dir)]) == 0
+    assert "pruned 4" in capsys.readouterr().out
+    main(["sweep", "stats", "--cache-dir", str(cache_dir)])
+    assert "0 entries" in capsys.readouterr().out
+
+
+def test_sweep_missing_spec_exits_2(tmp_path, capsys):
+    assert main(["sweep", "run", str(tmp_path / "nope.json")]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("extrap: error:") and "nope.json" in err
+
+
+def test_sweep_bad_spec_exits_2(tmp_path, capsys):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({"grid": {"netwrok.hop_time": [1.0]}}))
+    assert main(["sweep", "run", str(path)]) == 2
+    err = capsys.readouterr().err
+    assert "did you mean 'network'" in err
+    assert err.count("\n") == 1  # one-line error, no traceback
+
+
+def test_sweep_needs_trace_or_benchmark(spec_path, capsys):
+    assert main(["sweep", "run", str(spec_path), "--no-cache"]) == 2
+    assert "--trace" in capsys.readouterr().err
+
+
+def test_sweep_bad_jobs_exits_2(trace_path, spec_path, capsys):
+    assert main([
+        "sweep", "run", str(spec_path),
+        "--trace", str(trace_path), "--jobs", "0",
+    ]) == 2
+    assert "--jobs" in capsys.readouterr().err
+
+
+def test_validate_prints_digest(trace_path, capsys):
+    assert main(["validate", str(trace_path)]) == 0
+    out = capsys.readouterr().out
+    assert "sha256" in out
+    digest = out.split("sha256")[1].strip()
+    assert len(digest) == 64
+
+    # Same workload re-traced gives the same digest (determinism).
+    capsys.readouterr()
+    main(["validate", str(trace_path)])
+    assert digest in capsys.readouterr().out
+
+
+def test_unknown_experiment_suggests():
+    from repro.experiments.runner import run_experiment
+
+    with pytest.raises(ValueError, match="did you mean 'fig4'"):
+        run_experiment("fig44")
+
+
+def test_cli_unknown_experiment_rejected(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["experiment", "fig44"])
+    assert exc.value.code == 2
+    capsys.readouterr()
+
+
+def test_reproduce_unknown_experiment_exits_2(tmp_path, capsys):
+    assert main(
+        ["reproduce", "--out", str(tmp_path / "r"), "--only", "nope"]
+    ) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("extrap: error:") and "unknown" in err

@@ -1,0 +1,185 @@
+"""Sweep executor: serial/parallel determinism, retries, failure capture."""
+
+import pytest
+
+from repro.bench.suite import get_benchmark
+from repro.core.pipeline import measure
+from repro.sweep import ParallelExecutor, ResultCache, SweepSpec, run_sweep
+from repro.sweep.analyze import (
+    best_record,
+    format_run,
+    pareto_front,
+    to_experiment_result,
+)
+
+
+@pytest.fixture(scope="module")
+def embar_trace():
+    info = get_benchmark("embar")
+    return measure(info.make_program()(4), 4, name="embar")
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return SweepSpec.from_dict(
+        {
+            "name": "t",
+            "preset": "cm5",
+            "grid": {
+                "network.hop_time": [0.1, 0.2],
+                "processor.mips_ratio": [0.5, 1.0],
+            },
+        }
+    )
+
+
+# -- generic executor --------------------------------------------------------
+
+
+def _double(x):
+    return x * 2
+
+
+def _boom(x):
+    raise RuntimeError(f"boom {x}")
+
+
+def test_map_serial_ordered():
+    ex = ParallelExecutor(1)
+    outs = ex.map(_double, [3, 1, 2])
+    assert [o.value for o in outs] == [6, 2, 4]
+    assert all(o.ok for o in outs)
+
+
+def test_map_parallel_matches_serial_order():
+    tasks = list(range(10))
+    serial = ParallelExecutor(1).map(_double, tasks)
+    parallel = ParallelExecutor(3).map(_double, tasks)
+    assert [o.value for o in serial] == [o.value for o in parallel]
+    assert [o.index for o in parallel] == list(range(10))
+
+
+def test_failures_recorded_not_raised():
+    outs = ParallelExecutor(1).map(_boom, [1, 2])
+    assert all(not o.ok for o in outs)
+    assert outs[0].error_type == "RuntimeError"
+    assert "boom 1" in outs[0].error
+
+
+def test_jobs_validation():
+    with pytest.raises(ValueError, match="jobs"):
+        ParallelExecutor(0)
+    with pytest.raises(ValueError, match="retries"):
+        ParallelExecutor(1, retries=-1)
+
+
+def test_retry_on_matching_error_type(monkeypatch):
+    calls = {"n": 0}
+
+    def flaky(x):
+        calls["n"] += 1
+        if calls["n"] == 1:
+            raise RuntimeError("transient")
+        return x
+
+    ex = ParallelExecutor(1, retries=2, retry_on=("RuntimeError",))
+    outs = ex.map(flaky, [7])
+    assert outs[0].ok and outs[0].value == 7
+    assert outs[0].attempts == 2
+    assert ex.retried == 1
+
+
+def test_retries_exhausted_records_failure():
+    ex = ParallelExecutor(1, retries=2, retry_on=("RuntimeError",))
+    outs = ex.map(_boom, [1])
+    assert not outs[0].ok
+    assert outs[0].attempts == 3
+
+
+# -- sweep determinism -------------------------------------------------------
+
+
+def test_serial_vs_parallel_sweep_identical_json(spec, embar_trace):
+    run1 = run_sweep(spec, trace=embar_trace, jobs=1)
+    run4 = run_sweep(spec, trace=embar_trace, jobs=4)
+    assert run1.to_json() == run4.to_json()
+    assert format_run(run1) == format_run(run4)
+
+
+def test_cached_rerun_identical_json(spec, embar_trace, tmp_path):
+    cache = ResultCache(tmp_path / "c")
+    cold = run_sweep(spec, trace=embar_trace, jobs=2, cache=cache)
+    warm = run_sweep(spec, trace=embar_trace, jobs=1, cache=cache)
+    assert cold.to_json() == warm.to_json()
+    assert cold.counters.cache_misses == 4 and cold.counters.cache_hits == 0
+    assert warm.counters.cache_hits == 4 and warm.counters.cache_misses == 0
+    assert warm.counters.hit_rate == 1.0
+    assert warm.counters.executed == 0
+
+
+def test_n_threads_axis_rejected_in_trace_mode(embar_trace):
+    spec = SweepSpec.from_dict(
+        {"grid": {"n_threads": [2, 4]}, "benchmark": "embar"}
+    )
+    with pytest.raises(ValueError, match="n_threads"):
+        run_sweep(spec, trace=embar_trace)
+
+
+def test_benchmark_mode_with_thread_axis(tmp_path):
+    spec = SweepSpec.from_dict(
+        {
+            "name": "bm",
+            "preset": "cm5",
+            "benchmark": "embar",
+            "grid": {"n_threads": [2, 4]},
+        }
+    )
+    run = run_sweep(spec, cache=ResultCache(tmp_path / "c"))
+    assert all(r.ok for r in run.records)
+    assert [r.result["n_threads"] for r in run.records] == [2, 4]
+    # Bigger runs take longer on the simulated machine too.
+    assert (
+        run.records[1].result["predicted_time_us"]
+        != run.records[0].result["predicted_time_us"]
+    )
+
+
+def test_no_trace_no_benchmark_rejected():
+    spec = SweepSpec.from_dict({"points": [{}]})
+    with pytest.raises(ValueError, match="benchmark"):
+        run_sweep(spec)
+
+
+# -- analysis ----------------------------------------------------------------
+
+
+def test_best_and_pareto(spec, embar_trace):
+    run = run_sweep(spec, trace=embar_trace)
+    best = best_record(run)
+    assert best.result["predicted_time_us"] == min(
+        r.result["predicted_time_us"] for r in run.records
+    )
+    front = pareto_front(run)
+    assert best in front
+    # Nothing on the front is dominated by anything else on it.
+    for a in front:
+        for b in front:
+            if a is b:
+                continue
+            assert not (
+                b.result["predicted_time_us"] <= a.result["predicted_time_us"]
+                and b.result["message_bytes"] <= a.result["message_bytes"]
+                and (
+                    b.result["predicted_time_us"]
+                    < a.result["predicted_time_us"]
+                    or b.result["message_bytes"] < a.result["message_bytes"]
+                )
+            )
+
+
+def test_to_experiment_result_shape(spec, embar_trace):
+    run = run_sweep(spec, trace=embar_trace)
+    er = to_experiment_result(run)
+    assert er.name == "sweep-t"
+    assert set(er.series["predicted time (us)"]) == {0, 1, 2, 3}
+    assert er.table()  # renders without error

@@ -1,0 +1,34 @@
+"""Trace.digest(): stable content identity over the canonical encoding."""
+
+from repro.bench.suite import get_benchmark
+from repro.core.pipeline import measure
+from repro.trace.io import read_trace, write_trace
+
+
+def _trace(bench="embar", n=4):
+    info = get_benchmark(bench)
+    return measure(info.make_program()(n), n, name=bench)
+
+
+def test_digest_is_stable_and_hex():
+    t = _trace()
+    d = t.digest()
+    assert d == t.digest()
+    assert len(d) == 64 and int(d, 16) >= 0
+
+
+def test_digest_deterministic_across_remeasure():
+    assert _trace().digest() == _trace().digest()
+
+
+def test_digest_distinguishes_workloads():
+    assert _trace("embar", 4).digest() != _trace("embar", 2).digest()
+    assert _trace("embar", 4).digest() != _trace("cyclic", 4).digest()
+
+
+def test_digest_survives_io_roundtrip(tmp_path):
+    t = _trace()
+    for name in ("t.jsonl", "t.bin"):
+        path = tmp_path / name
+        write_trace(t, path)
+        assert read_trace(path).digest() == t.digest()
