@@ -1,0 +1,130 @@
+#!/usr/bin/env python
+"""Exercise a running `extrap serve` instance end to end.
+
+Stdlib-only client: waits for the server to come up, runs a predict
+twice (asserting the second is answered from the cache with an
+identical payload), then submits a sweep job and polls it to
+completion.  Exits nonzero on any contract violation, which is what
+lets CI use it as the serve smoke test.
+
+Run:  extrap serve --port 8787 --trace-root traces/ &
+      python examples/serve_client.py --port 8787 --trace grid.jsonl
+"""
+
+import argparse
+import http.client
+import json
+import sys
+import time
+
+
+class Client:
+    def __init__(self, host, port):
+        self.host, self.port = host, port
+
+    def request(self, method, path, body=None):
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=120)
+        try:
+            conn.request(
+                method, path, body=None if body is None else json.dumps(body)
+            )
+            resp = conn.getresponse()
+            return resp.status, json.loads(resp.read())
+        finally:
+            conn.close()
+
+    def wait_healthy(self, timeout=30.0):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            try:
+                status, data = self.request("GET", "/v1/healthz")
+                if status == 200 and data.get("status") == "ok":
+                    return data
+            except OSError:
+                pass
+            time.sleep(0.2)
+        raise SystemExit(f"server on :{self.port} never became healthy")
+
+
+def check(cond, message):
+    if not cond:
+        raise SystemExit(f"FAIL: {message}")
+    print(f"ok: {message}")
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--host", default="127.0.0.1")
+    ap.add_argument("--port", type=int, default=8787)
+    ap.add_argument(
+        "--trace",
+        default="grid.jsonl",
+        help="trace path relative to the server's --trace-root",
+    )
+    ap.add_argument("--preset", default="cm5")
+    args = ap.parse_args(argv)
+    client = Client(args.host, args.port)
+
+    health = client.wait_healthy()
+    print(f"server healthy (version {health['version']})")
+
+    # Predict twice: the second answer must come from the cache, and
+    # must be identical to the first.
+    body = {"trace_path": args.trace, "preset": args.preset}
+    status, first = client.request("POST", "/v1/predict", body)
+    check(status == 200, f"predict returns 200 (got {status}: {first})")
+    status, second = client.request("POST", "/v1/predict", body)
+    check(status == 200, "repeat predict returns 200")
+    check(second["cached"], "repeat predict is served from the cache")
+    check(
+        first["metrics"] == second["metrics"]
+        and first["report"] == second["report"],
+        "cached response is identical to the computed one",
+    )
+    print(
+        f"predicted {first['metrics']['predicted_time_us']:.1f} us "
+        f"for {first['trace']['program']} on {args.preset}"
+    )
+
+    # Malformed input: one-line JSON error, with a spelling hint.
+    status, err = client.request("POST", "/v1/predict", {"trase_path": "x"})
+    check(status == 400, "unknown field is a 400")
+    check("did you mean" in err["error"]["message"], "error suggests a fix")
+
+    # Async sweep: submit, poll, fetch.
+    spec = {
+        "name": "client-demo",
+        "preset": args.preset,
+        "grid": {"network.comm_startup_time": [50.0, 100.0, 200.0]},
+    }
+    status, job = client.request(
+        "POST", "/v1/sweeps", {"spec": spec, "trace_path": args.trace}
+    )
+    check(status == 202, f"sweep submit returns 202 (got {status}: {job})")
+    job_id = job["job"]
+    deadline = time.monotonic() + 300
+    while time.monotonic() < deadline:
+        status, state = client.request("GET", f"/v1/jobs/{job_id}")
+        if state["status"] in ("done", "failed"):
+            break
+        time.sleep(0.2)
+    check(state["status"] == "done", f"sweep job finishes (got {state})")
+    status, result = client.request("GET", f"/v1/jobs/{job_id}/result")
+    check(status == 200, "finished job's result is fetchable")
+    points = result["result"]["points"]
+    check(len(points) == 3, "sweep artifact has every point")
+
+    status, stats = client.request("GET", "/v1/stats")
+    cache = stats["cache"]
+    print(
+        f"stats: {stats['requests_total']} requests, "
+        f"cache {cache.get('hits', 0)} hits / {cache.get('misses', 0)} misses, "
+        f"jobs done {stats['jobs']['done']}"
+    )
+    check(cache.get("hits", 0) >= 1, "cache shows at least one hit")
+    print("all serve checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,6 +15,7 @@ Subcommands::
     extrap experiment fig4 [--paper] [--jobs 4]
     extrap sweep run spec.json --trace t.jsonl --jobs 4   # design-space sweep
     extrap sweep stats|prune [--cache-dir D] # sweep result cache upkeep
+    extrap serve --port 8787 --trace-root traces/  # HTTP prediction service
     extrap bench [-o BENCH_engine.json]      # engine perf trajectory
 
 Global flags: ``-v``/``-vv`` or ``--log-level LEVEL`` control status
@@ -102,34 +103,53 @@ def _parse_counts(spec: str) -> List[int]:
     try:
         return [int(x) for x in spec.split(",") if x.strip()]
     except ValueError:
-        raise SystemExit(f"bad processor-count list {spec!r}; expected e.g. 1,2,4")
+        raise ValueError(
+            f"bad processor-count list {spec!r}; expected e.g. 1,2,4"
+        ) from None
+
+
+def _parse_override_value(raw: str) -> Any:
+    lowered = raw.strip().lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    try:
+        return int(raw)
+    except ValueError:
+        pass
+    try:
+        return float(raw)
+    except ValueError:
+        return raw
 
 
 def _apply_overrides(params: SimulationParameters, sets: List[str]) -> SimulationParameters:
-    groups: Dict[str, Dict[str, Any]] = {}
+    """Apply ``--set group.field=value`` items; ValueError on any bad one."""
+    from repro.sweep.spec import apply_param_overrides
+
+    overrides: Dict[str, Any] = {}
     for item in sets:
-        try:
-            key, raw = item.split("=", 1)
-            group, field_ = key.split(".", 1)
-        except ValueError:
-            raise SystemExit(
+        key, eq, raw = item.partition("=")
+        if not eq or "." not in key:
+            raise ValueError(
                 f"bad --set {item!r}; expected group.field=value "
                 "(e.g. processor.mips_ratio=0.5)"
             )
-        value: Any
-        lowered = raw.strip().lower()
-        if lowered in ("true", "false"):
-            value = lowered == "true"
-        else:
-            try:
-                value = int(raw)
-            except ValueError:
-                try:
-                    value = float(raw)
-                except ValueError:
-                    value = raw
-        groups.setdefault(group, {})[field_] = value
-    return params.with_(**groups) if groups else params
+        overrides[key] = _parse_override_value(raw)
+    return apply_param_overrides(params, overrides)
+
+
+def _resolve_params(args):
+    """``(preset + --set overrides, None)`` or ``(None, error message)``.
+
+    Unknown presets and unknown/misspelled override fields both land
+    here as :class:`ValueError` (with did-you-mean hints) instead of
+    escaping as tracebacks.
+    """
+    try:
+        params = presets.by_name(args.preset)
+        return _apply_overrides(params, args.set or []), None
+    except ValueError as exc:
+        return None, str(exc)
 
 
 def cmd_list(_args) -> int:
@@ -167,13 +187,21 @@ def cmd_trace(args) -> int:
 
 
 def cmd_predict(args) -> int:
+    from repro.metrics.report import predict_summary
+
     trace, problem = _load_trace(args.trace)
     if problem:
         return _input_error(problem)
-    params = _apply_overrides(presets.by_name(args.preset), args.set or [])
+    params, problem = _resolve_params(args)
+    if problem:
+        return _input_error(problem)
     params, problem = _load_faults(args, params)
     if problem:
         return _input_error(problem)
+    if args.wall_budget is not None and args.wall_budget <= 0:
+        return _input_error(
+            f"--wall-budget must be > 0, got {args.wall_budget}"
+        )
     log.info(
         "extrapolating %s to %s", args.trace, params.name or args.preset
     )
@@ -187,19 +215,7 @@ def cmd_predict(args) -> int:
         )
     except SimulationStalled as exc:
         return _input_error(str(exc))
-    print(params.describe())
-    print(f"measured trace: {outcome.trace_stats.summary()}")
-    print(f"ideal execution time:     {outcome.ideal_time:12.1f} us")
-    print(f"predicted execution time: {outcome.predicted_time:12.1f} us")
-    print(outcome.result.summary())
-    if outcome.result.faults is not None:
-        from repro.metrics.report import fault_section
-
-        print(fault_section(outcome.result))
-    if outcome.result.profile is not None:
-        from repro.metrics.report import profile_section
-
-        print(profile_section(outcome.result))
+    print(predict_summary(params, outcome))
     if args.timeline is not None:
         from repro.obs.export import write_chrome_trace
 
@@ -224,6 +240,8 @@ def cmd_timeline(args) -> int:
         timeline = load_chrome_trace(args.timeline)
     except ValueError as exc:
         return _input_error(str(exc))
+    except OSError as exc:
+        return _input_error(f"cannot read timeline {args.timeline}: {exc}")
     did_something = False
     if args.ascii:
         print(ascii_gantt(timeline, width=args.width))
@@ -272,7 +290,9 @@ def cmd_report(args) -> int:
     trace, problem = _load_trace(args.trace)
     if problem:
         return _input_error(problem)
-    params = _apply_overrides(presets.by_name(args.preset), args.set or [])
+    params, problem = _resolve_params(args)
+    if problem:
+        return _input_error(problem)
     params, problem = _load_faults(args, params)
     if problem:
         return _input_error(problem)
@@ -405,8 +425,17 @@ def cmd_calibrate(args) -> int:
 
 def cmd_study(args) -> int:
     info = get_benchmark(args.benchmark)
-    params = _apply_overrides(presets.by_name(args.preset), args.set or [])
-    counts = _parse_counts(args.processors)
+    params, problem = _resolve_params(args)
+    if problem:
+        return _input_error(problem)
+    try:
+        counts = _parse_counts(args.processors)
+    except ValueError as exc:
+        return _input_error(str(exc))
+    if not counts:
+        return _input_error(
+            f"empty processor-count list {args.processors!r}; expected e.g. 1,2,4"
+        )
     if info.power_of_two_only:
         counts = [p for p in counts if (p & (p - 1)) == 0]
     study = run_scaling_study(
@@ -466,6 +495,12 @@ def cmd_sweep(args) -> int:
 
     if args.jobs < 1:
         return _input_error(f"--jobs must be >= 1, got {args.jobs}")
+    if args.retries < 0:
+        return _input_error(f"--retries must be >= 0, got {args.retries}")
+    if args.wall_budget is not None and args.wall_budget <= 0:
+        return _input_error(
+            f"--wall-budget must be > 0, got {args.wall_budget}"
+        )
     problem = _require_file(args.spec, "sweep spec")
     if problem:
         return _input_error(problem)
@@ -500,6 +535,11 @@ def cmd_sweep(args) -> int:
         )
     except (KeyError, ValueError) as exc:
         return _input_error(str(exc))
+    except KeyboardInterrupt:
+        # Workers are already cancelled and reaped by the executor's
+        # abort path; report the conventional SIGINT exit.
+        print("extrap: sweep interrupted", file=sys.stderr)
+        return 130
     print(format_run(run))
     print(run.counters.format())
     if args.output:
@@ -509,6 +549,36 @@ def cmd_sweep(args) -> int:
             return _input_error(f"cannot write results to {args.output}: {exc}")
         print(f"wrote {args.output}")
     return 1 if run.counters.failed else 0
+
+
+def cmd_serve(args) -> int:
+    from repro.serve import run_server
+    from repro.sweep import ResultCache
+
+    if args.queue_depth < 1:
+        return _input_error(f"--queue-depth must be >= 1, got {args.queue_depth}")
+    if args.workers < 1:
+        return _input_error(f"--workers must be >= 1, got {args.workers}")
+    if args.jobs < 1:
+        return _input_error(f"--jobs must be >= 1, got {args.jobs}")
+    if args.max_wall_budget is not None and args.max_wall_budget <= 0:
+        return _input_error(
+            f"--max-wall-budget must be > 0, got {args.max_wall_budget}"
+        )
+    root = Path(args.trace_root)
+    if not root.is_dir():
+        return _input_error(f"trace root is not a directory: {args.trace_root}")
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    return run_server(
+        host=args.host,
+        port=args.port,
+        trace_root=root,
+        cache=cache,
+        queue_depth=args.queue_depth,
+        workers=args.workers,
+        sweep_jobs=args.jobs,
+        max_wall_budget=args.max_wall_budget,
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -778,6 +848,68 @@ def build_parser() -> argparse.ArgumentParser:
         p_ = swsub.add_parser(sub_name, help=sub_help)
         p_.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR)
 
+    sv = sub.add_parser(
+        "serve",
+        help="HTTP prediction service (memoized predict, async sweeps)",
+    )
+    sv.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address (default loopback; bind 0.0.0.0 deliberately)",
+    )
+    sv.add_argument(
+        "--port",
+        type=int,
+        default=8787,
+        help="TCP port (0 = ephemeral; the bound URL is printed on stdout)",
+    )
+    sv.add_argument(
+        "--trace-root",
+        default=".",
+        metavar="DIR",
+        help="directory 'trace_path' request fields resolve under "
+        "(requests cannot escape it)",
+    )
+    sv.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        help="content-addressed result cache shared with 'extrap sweep'",
+    )
+    sv.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="serve without memoization (every predict simulates)",
+    )
+    sv.add_argument(
+        "--queue-depth",
+        type=int,
+        default=16,
+        help="max queued sweep jobs before submissions get 429",
+    )
+    sv.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="job-queue worker threads (each job may itself use --jobs "
+        "processes)",
+    )
+    sv.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=1,
+        help="max worker processes per sweep job (requests are clamped "
+        "to this)",
+    )
+    sv.add_argument(
+        "--max-wall-budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="cap every simulation's wall-clock watchdog budget "
+        "(requests cannot exceed it)",
+    )
+
     return ap
 
 
@@ -799,6 +931,7 @@ def main(argv: List[str] | None = None) -> int:
         "experiment": cmd_experiment,
         "reproduce": cmd_reproduce,
         "sweep": cmd_sweep,
+        "serve": cmd_serve,
     }
     return handlers[args.command](args)
 

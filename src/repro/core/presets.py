@@ -163,6 +163,12 @@ def by_name(name: str) -> SimulationParameters:
     try:
         return PRESETS[name]()
     except KeyError:
+        import difflib
+
+        close = difflib.get_close_matches(str(name), sorted(PRESETS), n=3, cutoff=0.5)
+        hint = (
+            f"; did you mean {', '.join(repr(c) for c in close)}?" if close else ""
+        )
         raise ValueError(
-            f"unknown preset {name!r}; available: {sorted(PRESETS)}"
+            f"unknown preset {name!r}{hint}; available: {sorted(PRESETS)}"
         ) from None

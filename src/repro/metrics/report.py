@@ -172,6 +172,27 @@ def profile_section(result: SimulationResult) -> str:
     return result.profile.format()
 
 
+def predict_summary(params, outcome: ExtrapolationOutcome) -> str:
+    """The canonical ``extrap predict`` report.
+
+    Single source of the prediction text: the CLI prints exactly this,
+    and the serve API returns it as the ``report`` field, so the two
+    surfaces can never drift apart.
+    """
+    lines = [
+        params.describe(),
+        f"measured trace: {outcome.trace_stats.summary()}",
+        f"ideal execution time:     {outcome.ideal_time:12.1f} us",
+        f"predicted execution time: {outcome.predicted_time:12.1f} us",
+        outcome.result.summary(),
+    ]
+    if outcome.result.faults is not None:
+        lines.append(fault_section(outcome.result))
+    if outcome.result.profile is not None:
+        lines.append(profile_section(outcome.result))
+    return "\n".join(lines)
+
+
 def full_report(outcome: ExtrapolationOutcome, *, width: int = 72) -> str:
     """Everything a debugging session wants on one screen."""
     from repro.metrics.phases import phase_stats, phase_table

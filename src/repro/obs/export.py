@@ -201,12 +201,42 @@ def load_chrome_trace(path: str | Path) -> Timeline:
 # -- CSV -----------------------------------------------------------------
 
 
+#: characters that would break the one-record-per-line CSV contract
+_CSV_UNSAFE = frozenset(',"\n\r')
+
+
+def _csv_name(name: str) -> str:
+    """A counter name as a safe CSV field.
+
+    Counter names flow in from user-controlled benchmark/span names; a
+    name containing a comma, quote, newline or other control/non-ASCII
+    character is emitted JSON-quoted (``json.dumps`` escapes all of
+    them), so hostile names can never smear a record across lines or
+    columns.  Plain names stay unquoted, keeping the common output
+    byte-stable.
+    """
+    if (
+        name
+        and name.isascii()
+        and name.isprintable()
+        and name == name.strip()
+        and not (_CSV_UNSAFE & set(name))
+    ):
+        return name
+    return json.dumps(name)
+
+
 def counters_csv(timeline: Timeline) -> str:
-    """Counter series as long-format CSV: ``counter,t_us,value``."""
+    """Counter series as long-format CSV: ``counter,t_us,value``.
+
+    Names needing escaping appear as JSON string literals (see
+    :func:`_csv_name`); ``json.loads`` recovers the original name.
+    """
     lines = ["counter,t_us,value"]
     for name, series in timeline.counters.items():
+        field = _csv_name(name)
         for t, value in series.samples:
-            lines.append(f"{name},{t:g},{value:g}")
+            lines.append(f"{field},{t:g},{value:g}")
     return "\n".join(lines) + "\n"
 
 

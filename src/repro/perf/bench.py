@@ -1,6 +1,6 @@
 """Engine benchmark harness: the perf trajectory behind ``BENCH_engine.json``.
 
-Four seeded reference workloads exercise the layers of the hot path:
+Five seeded reference workloads exercise the layers of the hot path:
 
 * ``timeout_chain`` — the pure event loop (Timeout-only, the
   ``run_batched`` fast-path case);
@@ -8,7 +8,9 @@ Four seeded reference workloads exercise the layers of the hot path:
 * ``simulator`` — a full trace-driven replay (8 processors, the
   distributed-memory preset) through :class:`repro.sim.Simulator`;
 * ``sweep`` — a cold-then-warm design-space sweep through
-  :func:`repro.sweep.run_sweep` (points/s plus warm-cache hit rate).
+  :func:`repro.sweep.run_sweep` (points/s plus warm-cache hit rate);
+* ``serve`` — warm-cache ``POST /v1/predict`` requests against an
+  in-process :mod:`repro.serve` server (memoized requests/s over HTTP).
 
 :func:`run_benchmarks` times each (best of N repeats) and
 :func:`write_baseline` persists the result as ``BENCH_engine.json`` so
@@ -134,6 +136,57 @@ def sweep_points(n_points: int = 8) -> dict:
     }
 
 
+def serve_requests(n_requests: int = 32) -> dict:
+    """The serve API's hot path: warm-cache predicts over real HTTP.
+
+    One in-process :class:`~repro.serve.http.ExtrapServer` on an
+    ephemeral loopback port; the first request populates the result
+    cache and the timed loop replays it, so events/s is memoized
+    requests/s end-to-end (HTTP parse, validation, cache lookup, JSON
+    response).
+    """
+    import http.client
+    import tempfile
+
+    from repro.bench.suite import get_benchmark
+    from repro.core.pipeline import measure
+    from repro.serve import ExtrapService, start_server
+    from repro.sweep import ResultCache
+    from repro.trace import write_trace
+
+    info = get_benchmark("embar")
+    trace = measure(info.make_program()(4), 4, name="embar")
+    body = json.dumps({"trace_path": "t.jsonl", "preset": "cm5"})
+    with tempfile.TemporaryDirectory() as tmp:
+        write_trace(trace, Path(tmp) / "t.jsonl")
+        service = ExtrapService(trace_root=tmp, cache=ResultCache(Path(tmp) / "c"))
+        server, thread = start_server(service, port=0)
+        try:
+            conn = http.client.HTTPConnection("127.0.0.1", server.port)
+            warm_hit_latency = float("inf")
+            for _ in range(n_requests):
+                t0 = time.perf_counter()
+                conn.request("POST", "/v1/predict", body=body)
+                resp = conn.getresponse()
+                payload = resp.read()
+                if resp.status != 200:
+                    raise RuntimeError(f"predict failed: {resp.status} {payload!r}")
+                warm_hit_latency = min(
+                    warm_hit_latency, time.perf_counter() - t0
+                )
+            conn.close()
+            hits, misses = service.cache.hits, service.cache.misses
+        finally:
+            server.shutdown()
+            thread.join()
+            server.close(drain=False)
+    return {
+        "events": n_requests,
+        "cache_hit_rate": hits / (hits + misses),
+        "warm_hit_latency_s": warm_hit_latency,
+    }
+
+
 #: name -> (workload(scaled_size) -> processed event count, base size).
 #: A workload may instead return a dict with an ``"events"`` key plus
 #: extra metrics to merge into its results record.
@@ -142,6 +195,7 @@ WORKLOADS: Dict[str, tuple] = {
     "pingpong": (pingpong, 5_000),
     "simulator": (simulator_replay, 8),
     "sweep": (sweep_points, 8),
+    "serve": (serve_requests, 32),
 }
 
 
@@ -163,10 +217,11 @@ def run_benchmarks(
     selected = WORKLOADS if workloads is None else {
         name: WORKLOADS[name] for name in workloads
     }
-    # These two keep their shape under --scale: the simulator replay's
-    # structure is its workload, and the sweep's fixed trace-measurement
-    # overhead would otherwise dominate at small point counts.
-    fixed_shape = ("simulator", "sweep")
+    # These keep their shape under --scale: the simulator replay's
+    # structure is its workload, and the sweep/serve fixed overhead
+    # (trace measurement, the cold first request) would otherwise
+    # dominate at small sizes.
+    fixed_shape = ("simulator", "sweep", "serve")
     for name, (fn, base_size) in selected.items():
         size = base_size if name in fixed_shape else max(1, int(base_size * scale))
         fn(size)  # warm-up run (imports, allocator)

@@ -1,0 +1,23 @@
+"""HTTP prediction service: ``extrap serve``.
+
+A stdlib-only JSON API over the extrapolation pipeline — synchronous
+memoized predictions, asynchronous sweep jobs, and observable cache and
+queue state.  See :mod:`repro.serve.service` for the endpoint logic and
+:mod:`repro.serve.http` for the wire layer.
+"""
+
+from repro.serve.http import ExtrapServer, run_server, start_server
+from repro.serve.jobs import JobQueue, QueueClosedError, QueueFullError
+from repro.serve.schema import ApiError
+from repro.serve.service import ExtrapService
+
+__all__ = [
+    "ApiError",
+    "ExtrapServer",
+    "ExtrapService",
+    "JobQueue",
+    "QueueClosedError",
+    "QueueFullError",
+    "run_server",
+    "start_server",
+]

@@ -1,0 +1,211 @@
+"""Bounded FIFO job queue with draining shutdown.
+
+The async half of the serve API: ``POST /v1/sweeps`` enqueues work here
+and polls it back through ``GET /v1/jobs/<id>``.  Design constraints:
+
+* **bounded** — the queue has a hard depth limit; an overflowing submit
+  raises :class:`QueueFullError` immediately (the API maps it to 429)
+  instead of accepting unbounded work;
+* **FIFO** — jobs run in submission order across a small pool of worker
+  threads (the heavy lifting inside a job is process-parallel via
+  :class:`repro.sweep.executor.ParallelExecutor`; threads are only the
+  dispatch layer);
+* **draining** — :meth:`JobQueue.close` stops new submissions and lets
+  the workers finish every job already accepted, which is what makes
+  SIGTERM safe: a job the server said "queued" to is never silently
+  dropped on a graceful shutdown.
+
+Failures are recorded as ``(error type, one-line message)`` on the job,
+mirroring the sweep executor's convention — a crashing job is a result,
+not a dead worker thread.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.util.log import get_logger
+
+log = get_logger("serve.jobs")
+
+#: job lifecycle states
+STATUSES = ("queued", "running", "done", "failed", "cancelled")
+
+
+class QueueFullError(Exception):
+    """The job queue is at its depth limit (API: 429)."""
+
+
+class QueueClosedError(Exception):
+    """The queue is draining for shutdown (API: 503)."""
+
+
+@dataclass
+class Job:
+    """One asynchronous unit of work and its lifecycle record."""
+
+    id: str
+    kind: str
+    label: str = ""
+    status: str = "queued"
+    submitted_s: float = 0.0
+    started_s: Optional[float] = None
+    finished_s: Optional[float] = None
+    error_type: str = ""
+    error: str = ""
+    result: Optional[Any] = None
+    fn: Optional[Callable[[], Any]] = None
+
+    def status_dict(self) -> Dict[str, Any]:
+        """The public ``GET /v1/jobs/<id>`` payload (no result body)."""
+        out: Dict[str, Any] = {
+            "job": self.id,
+            "kind": self.kind,
+            "status": self.status,
+        }
+        if self.label:
+            out["label"] = self.label
+        if self.started_s is not None:
+            end = self.finished_s if self.finished_s is not None else time.monotonic()
+            out["run_s"] = round(end - self.started_s, 6)
+        if self.status == "failed":
+            out["error"] = {"type": self.error_type, "message": self.error}
+        return out
+
+
+#: sentinel telling a worker thread to exit
+_STOP = object()
+
+
+class JobQueue:
+    """FIFO job execution with a bounded backlog and worker threads."""
+
+    def __init__(self, *, depth: int = 16, workers: int = 1):
+        if depth < 1:
+            raise ValueError(f"queue depth must be >= 1, got {depth}")
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.depth = depth
+        self._q: "queue.Queue[Any]" = queue.Queue(maxsize=depth + workers)
+        self._jobs: Dict[str, Job] = {}
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._open = True
+        self._threads: List[threading.Thread] = [
+            threading.Thread(
+                target=self._worker, name=f"serve-job-worker-{i}", daemon=True
+            )
+            for i in range(workers)
+        ]
+        for t in self._threads:
+            t.start()
+
+    # -- submission / lookup -------------------------------------------------
+
+    def submit(self, kind: str, fn: Callable[[], Any], *, label: str = "") -> Job:
+        """Enqueue ``fn``; returns the queued :class:`Job`.
+
+        Raises :class:`QueueFullError` when ``depth`` jobs are already
+        waiting and :class:`QueueClosedError` once :meth:`close` began.
+        """
+        with self._lock:
+            if not self._open:
+                raise QueueClosedError("server is shutting down")
+            if self.backlog() >= self.depth:
+                raise QueueFullError(
+                    f"job queue full ({self.depth} queued); retry later"
+                )
+            job = Job(
+                id=f"j{next(self._ids):06d}",
+                kind=kind,
+                label=label,
+                submitted_s=time.monotonic(),
+                fn=fn,
+            )
+            self._jobs[job.id] = job
+            self._q.put_nowait(job)
+        log.info("job %s queued (%s %s)", job.id, kind, label or "-")
+        return job
+
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def backlog(self) -> int:
+        """Jobs accepted but not yet started."""
+        return sum(1 for j in self._jobs.values() if j.status == "queued")
+
+    def counts(self) -> Dict[str, int]:
+        """Job count per lifecycle state (all states always present)."""
+        out = {status: 0 for status in STATUSES}
+        with self._lock:
+            for job in self._jobs.values():
+                out[job.status] += 1
+        return out
+
+    # -- execution -----------------------------------------------------------
+
+    def _worker(self) -> None:
+        while True:
+            item = self._q.get()
+            if item is _STOP:
+                return
+            job: Job = item
+            with self._lock:
+                if job.status == "cancelled":
+                    continue
+                job.status = "running"
+                job.started_s = time.monotonic()
+            log.info("job %s running", job.id)
+            try:
+                result = job.fn() if job.fn is not None else None
+            except Exception as exc:
+                with self._lock:
+                    job.status = "failed"
+                    job.error_type = type(exc).__name__
+                    job.error = str(exc)
+                    job.finished_s = time.monotonic()
+                log.warning(
+                    "job %s FAILED (%s: %s)", job.id, job.error_type, job.error
+                )
+            else:
+                with self._lock:
+                    job.result = result
+                    job.status = "done"
+                    job.finished_s = time.monotonic()
+                log.info(
+                    "job %s done in %.2fs", job.id, job.finished_s - job.started_s
+                )
+            finally:
+                job.fn = None  # drop closure references (trace data) early
+
+    # -- shutdown ------------------------------------------------------------
+
+    def close(self, *, drain: bool = True, timeout: Optional[float] = None) -> None:
+        """Stop accepting jobs and shut the workers down.
+
+        ``drain=True`` (the graceful path) lets workers finish every
+        accepted job before their stop sentinel, FIFO order guaranteeing
+        sentinels sort last.  ``drain=False`` marks still-queued jobs
+        ``cancelled`` and only waits out the jobs already running.
+        """
+        with self._lock:
+            if not self._open:
+                return
+            self._open = False
+            if not drain:
+                for job in self._jobs.values():
+                    if job.status == "queued":
+                        job.status = "cancelled"
+        for _ in self._threads:
+            self._q.put(_STOP)
+        deadline = None if timeout is None else time.monotonic() + timeout
+        for t in self._threads:
+            t.join(
+                None if deadline is None else max(0.0, deadline - time.monotonic())
+            )

@@ -1,0 +1,294 @@
+"""The serve API's domain logic, HTTP-free.
+
+:class:`ExtrapService` implements every endpoint as a plain method
+taking a parsed JSON body and returning a JSON-safe dict (raising
+:class:`~repro.serve.schema.ApiError` for the 4xx/5xx contract), so the
+whole API is unit-testable without opening a socket; the HTTP layer
+(:mod:`repro.serve.http`) is a thin router over it.
+
+Prediction results are memoized through the same content-addressed
+:class:`~repro.sweep.cache.ResultCache` the sweep engine uses — keyed
+by ``Trace.digest()`` + canonical resolved parameters — so a repeated
+predict (or one whose point a sweep already computed under the same
+key schema) is answered without simulating.  Cached and fresh responses
+are byte-identical: fresh payloads round-trip through JSON before they
+leave, exactly like the sweep executor.
+
+Hardening notes (the service is a long-running process fed by
+untrusted clients):
+
+* ``trace_path`` is resolved strictly inside ``trace_root`` — absolute
+  paths and ``..`` escapes are 400s, and symlinks cannot escape either
+  (the resolved real path must stay under the root);
+* inline traces are size-capped (:data:`repro.serve.schema.MAX_INLINE_EVENTS`);
+* per-request wall budgets are clamped to the server's configured
+  maximum, so no request can opt out of the watchdog;
+* sweep submissions are bounded by the job queue's depth limit (429 on
+  overflow) and their parallelism is clamped to the server's
+  ``sweep_jobs``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional
+
+from repro import __version__
+from repro.core import presets
+from repro.core.pipeline import extrapolate
+from repro.des import SimulationStalled
+from repro.metrics.report import predict_summary
+from repro.serve.jobs import JobQueue, QueueClosedError, QueueFullError
+from repro.serve.schema import (
+    ApiError,
+    PredictRequest,
+    SweepRequest,
+    bad_request,
+    validate_predict_request,
+    validate_sweep_request,
+)
+from repro.sweep.cache import ResultCache, result_key
+from repro.sweep.executor import result_record, run_sweep
+from repro.sweep.spec import SweepSpec, apply_param_overrides
+from repro.trace import TraceReadError, read_trace
+from repro.trace.events import TraceEvent
+from repro.trace.trace import Trace, TraceMeta
+from repro.util.log import get_logger
+
+log = get_logger("serve")
+
+#: cache-key namespace for predict responses (bump when the payload
+#: stored under a key changes shape)
+PREDICT_CACHE_EXTRA = {"serve": "predict", "payload": 1}
+
+
+class ExtrapService:
+    """Endpoint implementations + shared state (cache, jobs, counters)."""
+
+    def __init__(
+        self,
+        *,
+        trace_root: "str | Path" = ".",
+        cache: Optional[ResultCache] = None,
+        queue_depth: int = 16,
+        workers: int = 1,
+        sweep_jobs: int = 1,
+        max_wall_budget: Optional[float] = None,
+    ):
+        self.trace_root = Path(trace_root).resolve()
+        self.cache = cache
+        self.sweep_jobs = max(1, int(sweep_jobs))
+        self.max_wall_budget = max_wall_budget
+        self.jobs = JobQueue(depth=queue_depth, workers=workers)
+        self._t0 = time.monotonic()
+        self._lock = threading.Lock()
+        self._requests: Dict[str, int] = {}
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def count_request(self, endpoint: str) -> None:
+        with self._lock:
+            self._requests[endpoint] = self._requests.get(endpoint, 0) + 1
+
+    def uptime_s(self) -> float:
+        return time.monotonic() - self._t0
+
+    # -- trace loading -------------------------------------------------------
+
+    def _trace_from_path(self, rel: str) -> Trace:
+        candidate = Path(rel)
+        if candidate.is_absolute():
+            raise bad_request(
+                f"'trace_path' must be relative to the server trace root, "
+                f"got absolute path {rel!r}"
+            )
+        resolved = (self.trace_root / candidate).resolve()
+        if resolved != self.trace_root and self.trace_root not in resolved.parents:
+            raise bad_request(
+                f"'trace_path' {rel!r} escapes the server trace root"
+            )
+        if not resolved.is_file():
+            raise ApiError(404, f"trace file not found: {rel}")
+        try:
+            return read_trace(resolved)
+        except (TraceReadError, ValueError) as exc:
+            raise bad_request(str(exc)) from None
+        except OSError as exc:
+            raise bad_request(f"cannot read trace {rel}: {exc}") from None
+
+    @staticmethod
+    def _trace_from_inline(inline: Mapping[str, Any]) -> Trace:
+        try:
+            meta = TraceMeta.from_dict(inline["meta"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise bad_request(f"bad 'trace.meta': {exc}") from None
+        events = []
+        for i, ev in enumerate(inline["events"]):
+            if not isinstance(ev, Mapping):
+                raise bad_request(
+                    f"bad 'trace.events[{i}]': expected an object, got "
+                    f"{type(ev).__name__}"
+                )
+            try:
+                events.append(TraceEvent.from_dict(ev))
+            except (KeyError, TypeError, ValueError) as exc:
+                raise bad_request(f"bad 'trace.events[{i}]': {exc}") from None
+        return Trace(meta, events)
+
+    def _load_trace(self, req: "PredictRequest | SweepRequest") -> Trace:
+        if req.trace_inline is not None:
+            return self._trace_from_inline(req.trace_inline)
+        assert req.trace_path is not None
+        return self._trace_from_path(req.trace_path)
+
+    def _clamp_budget(self, requested: Optional[float]) -> Optional[float]:
+        if self.max_wall_budget is None:
+            return requested
+        if requested is None:
+            return self.max_wall_budget
+        return min(requested, self.max_wall_budget)
+
+    # -- endpoints -----------------------------------------------------------
+
+    def healthz(self) -> Dict[str, Any]:
+        return {"status": "ok", "version": __version__}
+
+    def stats(self) -> Dict[str, Any]:
+        cache_stats: Dict[str, Any] = {"enabled": self.cache is not None}
+        if self.cache is not None:
+            hits, misses = self.cache.hits, self.cache.misses
+            total = hits + misses
+            cache_stats.update(
+                hits=hits,
+                misses=misses,
+                hit_rate=(hits / total) if total else None,
+                root=str(self.cache.root),
+            )
+        with self._lock:
+            requests = dict(sorted(self._requests.items()))
+        return {
+            "version": __version__,
+            "uptime_s": round(self.uptime_s(), 3),
+            "requests": requests,
+            "requests_total": sum(requests.values()),
+            "cache": cache_stats,
+            "jobs": {
+                **self.jobs.counts(),
+                "queue_depth_limit": self.jobs.depth,
+            },
+        }
+
+    def predict(self, body: Any) -> Dict[str, Any]:
+        req = validate_predict_request(body)
+        trace = self._load_trace(req)
+        try:
+            params = presets.by_name(req.preset)
+            params = apply_param_overrides(params, req.overrides)
+        except ValueError as exc:
+            raise bad_request(str(exc)) from None
+        digest = trace.digest()
+        key = result_key(digest, params, extra=PREDICT_CACHE_EXTRA)
+        payload = self.cache.get(key) if self.cache is not None else None
+        cached = payload is not None
+        if payload is None:
+            try:
+                outcome = extrapolate(
+                    trace,
+                    params,
+                    wall_clock_budget=self._clamp_budget(req.wall_budget),
+                )
+            except SimulationStalled as exc:
+                raise ApiError(504, str(exc)) from None
+            # Round-trip through JSON so a fresh response is
+            # byte-identical to the cached replay of itself.
+            payload = json.loads(
+                json.dumps(
+                    {
+                        "metrics": result_record(outcome),
+                        "report": predict_summary(params, outcome),
+                    }
+                )
+            )
+            if self.cache is not None:
+                self.cache.put(key, payload)
+        return {
+            "cached": cached,
+            "key": key,
+            "preset": req.preset,
+            "trace": {
+                "digest": digest,
+                "program": trace.meta.program,
+                "n_threads": trace.meta.n_threads,
+            },
+            **payload,
+        }
+
+    def submit_sweep(self, body: Any) -> Dict[str, Any]:
+        req = validate_sweep_request(body)
+        try:
+            spec = SweepSpec.from_dict(req.spec)
+        except ValueError as exc:
+            raise bad_request(str(exc)) from None
+        trace: Optional[Trace] = None
+        if req.trace_inline is not None or req.trace_path is not None:
+            trace = self._load_trace(req)
+        elif spec.benchmark is None:
+            raise bad_request(
+                "sweep needs a trace ('trace' or 'trace_path') or a "
+                "'benchmark' field in the spec"
+            )
+        jobs = min(req.jobs or 1, self.sweep_jobs)
+        wall_budget = self._clamp_budget(req.wall_budget)
+        retries = req.retries if req.retries is not None else 1
+
+        def run() -> Dict[str, Any]:
+            run_ = run_sweep(
+                spec,
+                trace=trace,
+                jobs=jobs,
+                cache=self.cache,
+                wall_budget=wall_budget,
+                retries=retries,
+            )
+            artifact = json.loads(run_.to_json())
+            artifact["counters"] = run_.counters.as_dict()
+            return artifact
+
+        try:
+            job = self.jobs.submit(
+                "sweep", run, label=f"{spec.name} ({len(spec)} points)"
+            )
+        except QueueFullError as exc:
+            raise ApiError(429, str(exc)) from None
+        except QueueClosedError as exc:
+            raise ApiError(503, str(exc)) from None
+        return {**job.status_dict(), "points": len(spec)}
+
+    def job_status(self, job_id: str) -> Dict[str, Any]:
+        job = self.jobs.get(job_id)
+        if job is None:
+            raise ApiError(404, f"unknown job {job_id!r}")
+        return job.status_dict()
+
+    def job_result(self, job_id: str) -> Dict[str, Any]:
+        job = self.jobs.get(job_id)
+        if job is None:
+            raise ApiError(404, f"unknown job {job_id!r}")
+        if job.status in ("queued", "running"):
+            raise ApiError(
+                409, f"job {job_id} is {job.status}; poll /v1/jobs/{job_id}"
+            )
+        if job.status == "cancelled":
+            raise ApiError(409, f"job {job_id} was cancelled at shutdown")
+        if job.status == "failed":
+            raise ApiError(500, f"job {job_id} failed: {job.error_type}: {job.error}")
+        return {**job.status_dict(), "result": job.result}
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self, *, drain: bool = True, timeout: Optional[float] = None) -> None:
+        """Drain (or cancel) the job queue; idempotent."""
+        self.jobs.close(drain=drain, timeout=timeout)

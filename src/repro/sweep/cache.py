@@ -115,12 +115,29 @@ class ResultCache:
     # -- maintenance ---------------------------------------------------------
 
     def _entries(self):
+        """Yield entry paths, tolerating concurrent deletion.
+
+        Another process (a racing ``prune``, the serve memoizer, a plain
+        ``rm -rf``) may remove entries, fan-out directories or the root
+        itself at any point during the scan; a vanished directory is
+        simply skipped, never an exception.  Yielded paths may still
+        disappear before the caller touches them — per-entry operations
+        guard themselves too.
+        """
         if not self.root.is_dir():
             return
-        for sub in sorted(self.root.iterdir()):
-            if not sub.is_dir():
+        try:
+            subs = sorted(self.root.iterdir())
+        except FileNotFoundError:
+            return
+        for sub in subs:
+            try:
+                if not sub.is_dir():
+                    continue
+                paths = sorted(sub.glob("*.json"))
+            except FileNotFoundError:
                 continue
-            for path in sorted(sub.glob("*.json")):
+            for path in paths:
                 yield path
 
     def stats(self) -> Dict[str, Any]:
@@ -140,9 +157,14 @@ class ResultCache:
             with contextlib.suppress(OSError):
                 path.unlink()
                 removed += 1
-        # Tidy now-empty fan-out directories (best effort).
+        # Tidy now-empty fan-out directories (best effort; the root may
+        # vanish under us if another prune/rm races this one).
         if self.root.is_dir():
-            for sub in list(self.root.iterdir()):
+            try:
+                subs = list(self.root.iterdir())
+            except FileNotFoundError:
+                subs = []
+            for sub in subs:
                 if sub.is_dir():
                     with contextlib.suppress(OSError):
                         os.rmdir(sub)

@@ -26,6 +26,7 @@ diagnosis — strictly more useful than an executor-side kill.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
@@ -159,12 +160,13 @@ class ParallelExecutor:
         outcomes: List[Optional[TaskOutcome]] = [None] * len(tasks)
         attempts: Dict[int, int] = {i: 0 for i in range(len(tasks))}
         done_count = 0
-        with ProcessPoolExecutor(
+        pool = ProcessPoolExecutor(
             max_workers=min(self.jobs, len(tasks)),
             initializer=self.initializer,
             initargs=self.initargs,
-        ) as pool:
-            pending = {}
+        )
+        pending: Dict[Any, int] = {}
+        try:
             for index, task in enumerate(tasks):
                 attempts[index] += 1
                 pending[pool.submit(_invoke, worker, task)] = index
@@ -199,7 +201,38 @@ class ParallelExecutor:
                     outcomes[index] = outcome
                     done_count += 1
                     self._progress(done_count, len(tasks), outcome)
+        except BaseException as exc:
+            # Ctrl-C (or any other escape) must not strand worker
+            # processes mid-sweep: queued tasks would otherwise keep
+            # executing through the pool's shutdown(wait=True).
+            self._abort_pool(
+                pool, pending, kill=isinstance(exc, (KeyboardInterrupt, SystemExit))
+            )
+            raise
+        pool.shutdown(wait=True)
         return [o for o in outcomes if o is not None]
+
+    @staticmethod
+    def _abort_pool(pool, pending, *, kill: bool) -> None:
+        """Cancel queued work and reap workers after an interrupt/error.
+
+        ``kill=True`` (interrupt) additionally terminates worker
+        processes so an in-flight point cannot keep the interpreter
+        alive; results are discarded either way, so losing the points is
+        the intended outcome.
+        """
+        for fut in pending:
+            fut.cancel()
+        pool.shutdown(wait=False, cancel_futures=True)
+        if not kill:
+            return
+        procs = list((getattr(pool, "_processes", None) or {}).values())
+        for proc in procs:
+            with contextlib.suppress(Exception):
+                proc.terminate()
+        for proc in procs:
+            with contextlib.suppress(Exception):
+                proc.join(5)
 
     def _progress(self, done: int, total: int, outcome: TaskOutcome) -> None:
         if outcome.ok:
@@ -234,8 +267,12 @@ class _PointTask:
     wall_budget: Optional[float] = None
 
 
-def _result_record(outcome) -> Dict[str, Any]:
-    """The JSON-safe per-point result payload (also the cache payload)."""
+def result_record(outcome) -> Dict[str, Any]:
+    """The JSON-safe extrapolation metrics payload.
+
+    Shared vocabulary between the sweep cache, sweep artifacts and the
+    serve API's ``metrics`` object — one schema, one place.
+    """
     r = outcome.result
     return {
         "predicted_time_us": r.execution_time,
@@ -255,7 +292,7 @@ def _sweep_point_worker(task: _PointTask) -> Dict[str, Any]:
     trace = _WORKER_TRACES[task.trace_ref]
     params = task.point.params(task.base_preset)
     outcome = extrapolate(trace, params, wall_clock_budget=task.wall_budget)
-    return _result_record(outcome)
+    return result_record(outcome)
 
 
 def _json_roundtrip(record: Dict[str, Any]) -> Dict[str, Any]:

@@ -63,9 +63,65 @@ _GROUP_FIELDS: Dict[str, frozenset] = {
 SPECIAL_KEYS = ("preset", "n_threads", "faults")
 
 
-def _suggest(bad: str, candidates: Sequence[str]) -> str:
+def suggest(bad: str, candidates: Sequence[str]) -> str:
+    """A ``; did you mean ...?`` suffix for an unrecognised name.
+
+    Shared by sweep-spec validation, CLI ``--set`` parsing and the serve
+    API so every layer gives the same spelling help.  Empty when nothing
+    is close.
+    """
     close = difflib.get_close_matches(bad, list(candidates), n=3, cutoff=0.5)
     return f"; did you mean {', '.join(repr(c) for c in close)}?" if close else ""
+
+
+_suggest = suggest  # historical internal name
+
+
+def validate_param_key(key: str, *, what: str = "parameter key") -> None:
+    """Raise :class:`ValueError` unless ``key`` is a valid ``group.field``.
+
+    The strict form used by CLI ``--set`` overrides and serve-API
+    ``overrides`` objects, where the sweep-only special keys (``preset``,
+    ``n_threads``, bare ``faults``) are not meaningful.
+    """
+    group, _, field_ = key.partition(".")
+    if not field_:
+        raise ValueError(
+            f"bad {what} {key!r}: expected group.field "
+            f"(e.g. processor.mips_ratio)"
+            f"{suggest(key, list(_GROUP_FIELDS))}"
+        )
+    if group not in _GROUP_FIELDS:
+        raise ValueError(
+            f"bad {what} {key!r}: unknown parameter group {group!r}"
+            f"{suggest(group, list(_GROUP_FIELDS))}"
+        )
+    if field_ not in _GROUP_FIELDS[group]:
+        raise ValueError(
+            f"bad {what} {key!r}: {group!r} has no field {field_!r}"
+            f"{suggest(field_, sorted(_GROUP_FIELDS[group]))}"
+        )
+
+
+def apply_param_overrides(
+    params: SimulationParameters, overrides: Mapping[str, Any]
+) -> SimulationParameters:
+    """Apply flat ``{"group.field": value}`` overrides to ``params``.
+
+    Keys are validated with did-you-mean suggestions; value errors from
+    the parameter model surface as :class:`ValueError`.
+    """
+    groups: Dict[str, Dict[str, Any]] = {}
+    for key, value in overrides.items():
+        validate_param_key(key)
+        group, field_ = key.split(".", 1)
+        groups.setdefault(group, {})[field_] = value
+    if not groups:
+        return params
+    try:
+        return params.with_(**groups)
+    except TypeError as exc:
+        raise ValueError(f"bad parameter override: {exc}") from None
 
 
 def _validate_key(key: str) -> None:
@@ -77,18 +133,9 @@ def _validate_key(key: str) -> None:
         valid = list(SPECIAL_KEYS) + [f"{g}.<field>" for g in _GROUP_FIELDS]
         raise ValueError(
             f"bad sweep key {key!r}: expected group.field or one of "
-            f"{valid}{_suggest(key, list(_GROUP_FIELDS) + list(SPECIAL_KEYS))}"
+            f"{valid}{suggest(key, list(_GROUP_FIELDS) + list(SPECIAL_KEYS))}"
         )
-    if group not in _GROUP_FIELDS:
-        raise ValueError(
-            f"bad sweep key {key!r}: unknown parameter group {group!r}"
-            f"{_suggest(group, list(_GROUP_FIELDS))}"
-        )
-    if field_ not in _GROUP_FIELDS[group]:
-        raise ValueError(
-            f"bad sweep key {key!r}: {group!r} has no field {field_!r}"
-            f"{_suggest(field_, sorted(_GROUP_FIELDS[group]))}"
-        )
+    validate_param_key(key, what="sweep key")
 
 
 def _validate_value(key: str, value: Any) -> None:

@@ -47,11 +47,12 @@ def test_predict_with_overrides(tmp_path, capsys):
     assert "MipsRatio=0.5" in out
 
 
-def test_bad_override(tmp_path):
+def test_bad_override(tmp_path, capsys):
     trace_path = tmp_path / "t.jsonl"
     main(["trace", "embar", "-n", "2", "-o", str(trace_path)])
-    with pytest.raises(SystemExit):
-        main(["predict", str(trace_path), "--set", "nonsense"])
+    assert main(["predict", str(trace_path), "--set", "nonsense"]) == 2
+    err = capsys.readouterr().err
+    assert "extrap: error:" in err and "Traceback" not in err
 
 
 def test_report(tmp_path, capsys):
@@ -143,9 +144,10 @@ def test_study_filters_pow2(capsys):
     assert "4" in first_cells
 
 
-def test_bad_processor_list():
-    with pytest.raises(SystemExit):
-        main(["study", "grid", "-p", "1,two"])
+def test_bad_processor_list(capsys):
+    assert main(["study", "grid", "-p", "1,two"]) == 2
+    err = capsys.readouterr().err
+    assert "extrap: error:" in err and "Traceback" not in err
 
 
 def test_experiment_tiny(capsys, monkeypatch):

@@ -154,3 +154,62 @@ def test_report_with_faults(trace_path, tmp_path, capsys):
 def test_wall_budget_flag_accepted(trace_path, capsys):
     assert main(["predict", str(trace_path), "--wall-budget", "600"]) == 0
     capsys.readouterr()
+
+
+# -- exit-code contract ------------------------------------------------------
+#
+# Bad invocations exit 2 with a one-line `extrap: error: ...` message,
+# matching argparse's own usage-error code — never a traceback.
+
+
+def one_error_line(capsys):
+    err = capsys.readouterr().err.strip()
+    assert "Traceback" not in err
+    lines = [l for l in err.splitlines() if l.startswith("extrap: error:")]
+    assert len(lines) == 1, err
+    return lines[0]
+
+
+def test_predict_unknown_preset_exit_2(trace_path, capsys):
+    assert main(["predict", str(trace_path), "--preset", "cm-5"]) == 2
+    line = one_error_line(capsys)
+    assert "unknown preset" in line and "cm5" in line
+
+
+def test_predict_unknown_set_field_exit_2(trace_path, capsys):
+    assert main(
+        ["predict", str(trace_path), "--set", "processor.mips_ration=0.5"]
+    ) == 2
+    line = one_error_line(capsys)
+    assert "mips_ration" in line
+
+
+def test_predict_malformed_set_exit_2(trace_path, capsys):
+    assert main(["predict", str(trace_path), "--set", "nodots"]) == 2
+    assert "group.field=value" in one_error_line(capsys)
+
+
+def test_predict_nonpositive_wall_budget_exit_2(trace_path, capsys):
+    assert main(["predict", str(trace_path), "--wall-budget", "-1"]) == 2
+    assert "--wall-budget" in one_error_line(capsys)
+
+
+def test_report_unknown_preset_exit_2(trace_path, capsys):
+    assert main(["report", str(trace_path), "--preset", "nope"]) == 2
+    assert "unknown preset" in one_error_line(capsys)
+
+
+def test_study_bad_processor_list_exit_2(capsys):
+    assert main(["study", "embar", "-p", "1,two,4"]) == 2
+    assert "processor-count list" in one_error_line(capsys)
+
+
+def test_study_empty_processor_list_exit_2(capsys):
+    assert main(["study", "embar", "-p", ","]) == 2
+    assert "empty" in one_error_line(capsys)
+
+
+def test_study_unknown_preset_exit_2(capsys):
+    assert main(["study", "embar", "--preset", "sharedmemory"]) == 2
+    line = one_error_line(capsys)
+    assert "unknown preset" in line and "shared_memory" in line

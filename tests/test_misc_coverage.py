@@ -35,9 +35,9 @@ def test_cli_override_bad_group():
     from repro.cli import _apply_overrides
     from repro.core import presets
 
-    with pytest.raises(SystemExit):
+    with pytest.raises(ValueError, match="group.field=value"):
         _apply_overrides(presets.ideal(), ["nope"])
-    with pytest.raises(ValueError):
+    with pytest.raises(ValueError, match="martian"):
         _apply_overrides(presets.ideal(), ["martian.x=1"])
 
 

@@ -150,3 +150,62 @@ def test_counters_csv(tmp_path):
     assert "proc0.rxq_depth,2,3" in lines
     path = write_counters_csv(tl, tmp_path / "c.csv")
     assert path.read_text() == csv
+
+
+# -- hostile names -----------------------------------------------------------
+#
+# Benchmark/span names flow into exported counter and event names
+# unmodified; quotes, commas, newlines and non-ASCII must survive both
+# exporters without corrupting the container format.
+
+HOSTILE_NAMES = [
+    'net,"weird"',
+    "multi\nline",
+    'quote"comma,cr\rname',
+    "unicode-Ω-名前",
+    "trailing space ",
+]
+
+
+def hostile_timeline():
+    rec = TimelineRecorder()
+    rec.span(0, "compute", 0.0, 5.0)
+    for i, name in enumerate(HOSTILE_NAMES):
+        rec.counter(name, float(i), i)
+        rec.instant(0, name, float(i))
+    return rec.finalize(n_procs=1, end_time=5.0, program='p"1', params_name="t")
+
+
+def test_chrome_json_hostile_names_stay_valid_and_roundtrip(tmp_path):
+    tl = hostile_timeline()
+    text = chrome_trace_json(tl)
+    doc = json.loads(text)  # must parse — names can't break the JSON
+    exported = {e["name"] for e in doc["traceEvents"]}
+    assert set(HOSTILE_NAMES) <= exported
+    path = tmp_path / "hostile.json"
+    write_chrome_trace(tl, path)
+    loaded = load_chrome_trace(path)
+    assert sorted(loaded.counters) == sorted(HOSTILE_NAMES)
+    assert {i.name for i in loaded.instants} == set(HOSTILE_NAMES)
+    # Loading and re-exporting is byte-stable.
+    assert chrome_trace_json(loaded) == text
+
+
+def test_counters_csv_hostile_names_quoted(tmp_path):
+    tl = hostile_timeline()
+    csv = counters_csv(tl)
+    lines = csv.strip().splitlines()
+    # One header plus exactly one record per sample: a newline in a
+    # name must not smear a record across lines.
+    assert len(lines) == 1 + len(HOSTILE_NAMES)
+    recovered = []
+    for line in lines[1:]:
+        field = line.rsplit(",", 2)[0]
+        assert field.startswith('"')  # every hostile name gets quoted
+        recovered.append(json.loads(field))
+    assert sorted(recovered) == sorted(HOSTILE_NAMES)
+
+
+def test_counters_csv_plain_names_unquoted():
+    csv = counters_csv(small_timeline())
+    assert "net.in_flight,1,1" in csv.splitlines()

@@ -1,0 +1,341 @@
+"""Serve service layer: validation contract, memoization, job queue."""
+
+import threading
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.serve import (
+    ApiError,
+    ExtrapService,
+    JobQueue,
+    QueueClosedError,
+    QueueFullError,
+)
+from repro.sweep.cache import ResultCache
+from repro.trace import read_trace
+
+
+@pytest.fixture(scope="module")
+def trace_root(tmp_path_factory):
+    root = tmp_path_factory.mktemp("serve-traces")
+    assert main(["trace", "embar", "-n", "4", "-o", str(root / "t.jsonl")]) == 0
+    return root
+
+
+@pytest.fixture
+def service(trace_root, tmp_path):
+    svc = ExtrapService(
+        trace_root=trace_root,
+        cache=ResultCache(tmp_path / "cache"),
+        queue_depth=2,
+        workers=1,
+    )
+    yield svc
+    svc.close(drain=False, timeout=10)
+
+
+def err(fn, *args):
+    with pytest.raises(ApiError) as ei:
+        fn(*args)
+    return ei.value
+
+
+# -- predict -----------------------------------------------------------------
+
+
+def test_predict_miss_then_hit_identical(service):
+    body = {"trace_path": "t.jsonl", "preset": "cm5"}
+    first = service.predict(body)
+    second = service.predict(body)
+    assert first["cached"] is False
+    assert second["cached"] is True
+    assert first["metrics"] == second["metrics"]
+    assert first["report"] == second["report"]
+    assert first["key"] == second["key"]
+    stats = service.stats()
+    assert stats["cache"]["hits"] == 1
+    assert stats["cache"]["misses"] == 1
+    assert stats["cache"]["hit_rate"] == 0.5
+
+
+def test_predict_report_matches_cli(service, trace_root, capsys):
+    response = service.predict({"trace_path": "t.jsonl", "preset": "cm5"})
+    assert main(["predict", str(trace_root / "t.jsonl"), "--preset", "cm5"]) == 0
+    assert capsys.readouterr().out == response["report"] + "\n"
+
+
+def test_predict_inline_trace_same_key_as_path(service, trace_root):
+    trace = read_trace(trace_root / "t.jsonl")
+    inline = {
+        "meta": trace.meta.to_dict(),
+        "events": [e.to_dict() for e in trace.events],
+    }
+    by_path = service.predict({"trace_path": "t.jsonl"})
+    by_inline = service.predict({"trace": inline})
+    assert by_inline["cached"] is True  # same digest, same params
+    assert by_inline["key"] == by_path["key"]
+    assert by_inline["metrics"] == by_path["metrics"]
+
+
+def test_predict_overrides_change_key(service):
+    base = service.predict({"trace_path": "t.jsonl"})
+    tweaked = service.predict(
+        {
+            "trace_path": "t.jsonl",
+            "overrides": {"processor.mips_ratio": 0.5},
+        }
+    )
+    assert tweaked["key"] != base["key"]
+    assert tweaked["cached"] is False
+
+
+def test_predict_without_cache_never_cached(trace_root):
+    svc = ExtrapService(trace_root=trace_root, cache=None)
+    try:
+        assert svc.predict({"trace_path": "t.jsonl"})["cached"] is False
+        assert svc.predict({"trace_path": "t.jsonl"})["cached"] is False
+        assert svc.stats()["cache"] == {"enabled": False}
+    finally:
+        svc.close(drain=False)
+
+
+# -- validation contract -----------------------------------------------------
+
+
+def test_predict_unknown_field_suggests(service):
+    e = err(service.predict, {"trase_path": "t.jsonl"})
+    assert e.status == 400
+    assert "trase_path" in e.message
+    assert "did you mean" in e.message
+
+
+def test_predict_needs_a_trace(service):
+    assert err(service.predict, {"preset": "cm5"}).status == 400
+
+
+def test_predict_rejects_both_trace_forms(service):
+    e = err(
+        service.predict,
+        {"trace_path": "t.jsonl", "trace": {"meta": {}, "events": [{}]}},
+    )
+    assert e.status == 400
+    assert "not both" in e.message
+
+
+def test_predict_bad_preset_suggests(service):
+    e = err(service.predict, {"trace_path": "t.jsonl", "preset": "cm-5"})
+    assert e.status == 400
+    assert "cm5" in e.message
+
+
+def test_predict_bad_override_field(service):
+    e = err(
+        service.predict,
+        {"trace_path": "t.jsonl", "overrides": {"processor.nope": 1}},
+    )
+    assert e.status == 400
+    assert "processor" in e.message
+
+
+def test_predict_non_object_body(service):
+    assert err(service.predict, [1, 2]).status == 400
+    assert err(service.predict, None).status == 400
+
+
+def test_predict_bad_wall_budget(service):
+    e = err(service.predict, {"trace_path": "t.jsonl", "wall_budget": 0})
+    assert e.status == 400
+
+
+def test_predict_bad_inline_events(service):
+    e = err(
+        service.predict,
+        {"trace": {"meta": {"program": "x", "n_threads": 1}, "events": ["no"]}},
+    )
+    assert e.status == 400
+    assert "events[0]" in e.message
+
+
+# -- trace_path hardening ----------------------------------------------------
+
+
+def test_trace_path_absolute_rejected(service, trace_root):
+    e = err(service.predict, {"trace_path": str(trace_root / "t.jsonl")})
+    assert e.status == 400
+    assert "absolute" in e.message
+
+
+def test_trace_path_escape_rejected(service):
+    e = err(service.predict, {"trace_path": "../../etc/passwd"})
+    assert e.status == 400
+    assert "escapes" in e.message
+
+
+def test_trace_path_missing_is_404(service):
+    assert err(service.predict, {"trace_path": "nope.jsonl"}).status == 404
+
+
+def test_trace_path_symlink_escape_rejected(tmp_path, trace_root):
+    outside = tmp_path / "outside.jsonl"
+    outside.write_text("{}\n")
+    root = tmp_path / "root"
+    root.mkdir()
+    link = root / "sneaky.jsonl"
+    try:
+        link.symlink_to(outside)
+    except OSError:
+        pytest.skip("filesystem does not support symlinks")
+    svc = ExtrapService(trace_root=root, cache=None)
+    try:
+        e = err(svc.predict, {"trace_path": "sneaky.jsonl"})
+        assert e.status == 400
+        assert "escapes" in e.message
+    finally:
+        svc.close(drain=False)
+
+
+# -- sweeps and jobs ---------------------------------------------------------
+
+SPEC = {
+    "name": "demo",
+    "preset": "cm5",
+    "grid": {"network.comm_startup_time": [50.0, 100.0]},
+}
+
+
+def wait_for(service, job_id, timeout=60.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        status = service.job_status(job_id)
+        if status["status"] in ("done", "failed", "cancelled"):
+            return status
+        time.sleep(0.02)
+    raise AssertionError(f"job {job_id} did not finish")
+
+
+def test_sweep_lifecycle(service):
+    submitted = service.submit_sweep({"spec": SPEC, "trace_path": "t.jsonl"})
+    assert submitted["status"] == "queued"
+    assert submitted["points"] == 2
+    job_id = submitted["job"]
+    assert wait_for(service, job_id)["status"] == "done"
+    result = service.job_result(job_id)
+    artifact = result["result"]
+    assert len(artifact["points"]) == 2
+    assert artifact["counters"]["points_total"] == 2
+    assert all("result" in p for p in artifact["points"])
+
+
+def test_sweep_bad_spec_is_400(service):
+    e = err(service.submit_sweep, {"spec": {"name": "x"}, "trace_path": "t.jsonl"})
+    assert e.status == 400
+
+
+def test_sweep_needs_trace_or_benchmark(service):
+    e = err(service.submit_sweep, {"spec": SPEC})
+    assert e.status == 400
+    assert "benchmark" in e.message
+
+
+def test_job_status_unknown_is_404(service):
+    assert err(service.job_status, "j999999").status == 404
+    assert err(service.job_result, "j999999").status == 404
+
+
+def test_job_result_before_done_is_409(service):
+    gate = threading.Event()
+    job = service.jobs.submit("test", gate.wait)
+    try:
+        e = err(service.job_result, job.id)
+        assert e.status == 409
+    finally:
+        gate.set()
+
+
+def test_queue_overflow_is_429(trace_root):
+    svc = ExtrapService(trace_root=trace_root, cache=None, queue_depth=1, workers=1)
+    try:
+        gate = threading.Event()
+        running = threading.Event()
+
+        def blocker():
+            running.set()
+            gate.wait()
+
+        svc.jobs.submit("test", blocker)
+        assert running.wait(10), "worker never picked up the gate job"
+        # The worker is busy; depth 1 admits exactly one queued sweep.
+        svc.submit_sweep({"spec": SPEC, "trace_path": "t.jsonl"})
+        e = err(svc.submit_sweep, {"spec": SPEC, "trace_path": "t.jsonl"})
+        assert e.status == 429
+        assert "retry" in e.message
+        gate.set()
+    finally:
+        svc.close(drain=False, timeout=10)
+
+
+def test_failed_job_result_is_500_one_line(service):
+    def boom():
+        raise RuntimeError("sim exploded\nwith details")
+
+    job = service.jobs.submit("test", boom)
+    status = wait_for(service, job.id)
+    assert status["status"] == "failed"
+    assert status["error"]["type"] == "RuntimeError"
+    e = err(service.job_result, job.id)
+    assert e.status == 500
+    assert "\n" not in e.message.replace("sim exploded\nwith details", "X")
+
+
+# -- JobQueue ----------------------------------------------------------------
+
+
+def test_job_queue_drains_on_close():
+    q = JobQueue(depth=8, workers=2)
+    done = []
+    for i in range(6):
+        q.submit("test", lambda i=i: done.append(i))
+    q.close(drain=True, timeout=30)
+    assert sorted(done) == list(range(6))
+    with pytest.raises(QueueClosedError):
+        q.submit("test", lambda: None)
+
+
+def test_job_queue_nodrain_cancels_queued():
+    q = JobQueue(depth=8, workers=1)
+    gate = threading.Event()
+    running = threading.Event()
+    q.submit("test", lambda: (running.set(), gate.wait()))
+    assert running.wait(10)
+    queued = [q.submit("test", lambda: None) for _ in range(3)]
+    gate.set()
+    q.close(drain=False, timeout=30)
+    counts = q.counts()
+    assert counts["cancelled"] == 3
+    assert all(q.get(j.id).status == "cancelled" for j in queued)
+
+
+def test_job_queue_depth_limit():
+    q = JobQueue(depth=2, workers=1)
+    gate = threading.Event()
+    running = threading.Event()
+    q.submit("test", lambda: (running.set(), gate.wait()))
+    assert running.wait(10)
+    q.submit("test", lambda: None)
+    q.submit("test", lambda: None)
+    with pytest.raises(QueueFullError):
+        q.submit("test", lambda: None)
+    gate.set()
+    q.close(drain=True, timeout=30)
+
+
+def test_stats_shape(service):
+    stats = service.stats()
+    assert stats["uptime_s"] >= 0
+    assert set(stats["jobs"]) == {
+        "queued", "running", "done", "failed", "cancelled", "queue_depth_limit",
+    }
+    service.count_request("predict")
+    assert service.stats()["requests"]["predict"] == 1

@@ -107,3 +107,106 @@ def test_stats_and_prune(cache):
 def test_entries_shard_by_key_prefix(cache):
     key = result_key(DIGEST, by_name("cm5"))
     assert cache.path_for(key).parent.name == key[:2]
+
+
+# -- concurrent-deletion tolerance -------------------------------------------
+#
+# stats()/prune() may race another prune, the serve memoizer, or a plain
+# `rm -rf` of the cache directory; any path may vanish between listing
+# and touching it.  None of that may raise.
+
+
+def _fill(cache, n=3):
+    for i in range(n):
+        cache.put(result_key(f"{i:02x}" * 32, by_name("cm5")), {"i": i})
+
+
+def test_stats_tolerates_root_vanishing_mid_scan(cache, monkeypatch):
+    import shutil
+    from pathlib import Path
+
+    _fill(cache)
+    real_iterdir = Path.iterdir
+
+    def vanish_then_iter(self):
+        if self == cache.root:
+            shutil.rmtree(cache.root, ignore_errors=True)
+        return real_iterdir(self)
+
+    monkeypatch.setattr(Path, "iterdir", vanish_then_iter)
+    assert cache.stats()["entries"] == 0
+
+
+def test_prune_tolerates_root_vanishing_mid_scan(cache, monkeypatch):
+    import shutil
+    from pathlib import Path
+
+    _fill(cache)
+    real_iterdir = Path.iterdir
+
+    def vanish_then_iter(self):
+        if self == cache.root:
+            shutil.rmtree(cache.root, ignore_errors=True)
+        return real_iterdir(self)
+
+    monkeypatch.setattr(Path, "iterdir", vanish_then_iter)
+    assert cache.prune() == 0
+
+
+def test_scan_tolerates_shard_vanishing(cache, monkeypatch):
+    import shutil
+    from pathlib import Path
+
+    _fill(cache)
+    real_glob = Path.glob
+
+    def vanish_then_glob(self, pattern):
+        if self.parent == cache.root:
+            shutil.rmtree(self, ignore_errors=True)
+        return real_glob(self, pattern)
+
+    monkeypatch.setattr(Path, "glob", vanish_then_glob)
+    assert cache.stats()["entries"] == 0
+    assert cache.prune() == 0
+
+
+def test_stats_tolerates_entry_vanishing_before_stat(cache):
+    _fill(cache)
+    paths = list(cache._entries())
+    paths[0].unlink()  # simulate a racing prune winning on one entry
+    assert cache.stats()["entries"] == 2
+
+
+def test_two_instances_prune_and_put_concurrently(tmp_path):
+    import threading
+
+    root = tmp_path / "shared-cache"
+    writer_cache = ResultCache(root)
+    pruner_cache = ResultCache(root)
+    errors = []
+
+    def writer():
+        try:
+            for round_ in range(20):
+                _fill(writer_cache, n=4)
+        except Exception as exc:  # pragma: no cover — failure detail
+            errors.append(exc)
+
+    def pruner():
+        try:
+            for _ in range(20):
+                pruner_cache.prune()
+                pruner_cache.stats()
+        except Exception as exc:  # pragma: no cover — failure detail
+            errors.append(exc)
+
+    threads = [threading.Thread(target=writer)] + [
+        threading.Thread(target=pruner) for _ in range(2)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(60)
+    assert not errors
+    writer_cache.prune()
+    assert writer_cache.stats()["entries"] == 0

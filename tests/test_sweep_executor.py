@@ -183,3 +183,41 @@ def test_to_experiment_result_shape(spec, embar_trace):
     assert er.name == "sweep-t"
     assert set(er.series["predicted time (us)"]) == {0, 1, 2, 3}
     assert er.table()  # renders without error
+
+
+# -- interrupt handling ------------------------------------------------------
+#
+# Ctrl-C during a parallel sweep must not strand worker processes: the
+# old `with ProcessPoolExecutor` exit path ran shutdown(wait=True),
+# which executes every queued task before returning.
+
+
+def test_keyboard_interrupt_reaps_workers(monkeypatch):
+    import multiprocessing
+    import time
+
+    from repro.sweep import executor as executor_mod
+
+    def interrupt(*_args, **_kwargs):
+        raise KeyboardInterrupt
+
+    monkeypatch.setattr(executor_mod, "wait", interrupt)
+    t0 = time.monotonic()
+    with pytest.raises(KeyboardInterrupt):
+        ParallelExecutor(2).map(_double, list(range(8)))
+    assert time.monotonic() - t0 < 30  # no full-queue drain on the way out
+    deadline = time.monotonic() + 15
+    while multiprocessing.active_children() and time.monotonic() < deadline:
+        time.sleep(0.05)
+    assert not multiprocessing.active_children()
+
+
+def test_non_interrupt_error_still_propagates(monkeypatch):
+    from repro.sweep import executor as executor_mod
+
+    def explode(*_args, **_kwargs):
+        raise RuntimeError("scheduler died")
+
+    monkeypatch.setattr(executor_mod, "wait", explode)
+    with pytest.raises(RuntimeError, match="scheduler died"):
+        ParallelExecutor(2).map(_double, list(range(4)))

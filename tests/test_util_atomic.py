@@ -69,3 +69,16 @@ def test_bench_baseline_write_is_atomic(tmp_path):
     write_baseline({"schema": 1, "workloads": {}}, path)
     assert load_baseline(path)["schema"] == 1
     assert os.listdir(tmp_path) == ["BENCH_engine.json"]
+
+
+def test_keyboard_interrupt_leaves_original_and_no_temp(tmp_path):
+    # Ctrl-C mid-write (e.g. during a sweep artifact dump) must neither
+    # corrupt the destination nor leave a temp file behind.
+    path = tmp_path / "out.txt"
+    path.write_text("original")
+    with pytest.raises(KeyboardInterrupt):
+        with atomic_write(path) as fh:
+            fh.write("partial")
+            raise KeyboardInterrupt
+    assert path.read_text() == "original"
+    assert os.listdir(tmp_path) == ["out.txt"]
