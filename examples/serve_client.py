@@ -3,9 +3,10 @@
 
 Stdlib-only client: waits for the server to come up, runs a predict
 twice (asserting the second is answered from the cache with an
-identical payload), then submits a sweep job and polls it to
-completion.  Exits nonzero on any contract violation, which is what
-lets CI use it as the serve smoke test.
+identical payload), runs a diagnosed predict, submits a sweep job and
+polls it to completion, and scrapes `/v1/metrics`, validating the
+Prometheus text exposition.  Exits nonzero on any contract violation,
+which is what lets CI use it as the serve smoke test.
 
 Run:  extrap serve --port 8787 --trace-root traces/ &
       python examples/serve_client.py --port 8787 --trace grid.jsonl
@@ -14,8 +15,14 @@ Run:  extrap serve --port 8787 --trace-root traces/ &
 import argparse
 import http.client
 import json
+import re
 import sys
 import time
+
+#: ``name{labels} value`` — the exposition sample-line grammar
+SAMPLE_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? ([0-9eE.+-]+|NaN|[+-]Inf)$"
+)
 
 
 class Client:
@@ -30,6 +37,19 @@ class Client:
             )
             resp = conn.getresponse()
             return resp.status, json.loads(resp.read())
+        finally:
+            conn.close()
+
+    def request_text(self, method, path):
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=120)
+        try:
+            conn.request(method, path)
+            resp = conn.getresponse()
+            return (
+                resp.status,
+                resp.getheader("Content-Type", ""),
+                resp.read().decode("utf-8"),
+            )
         finally:
             conn.close()
 
@@ -86,6 +106,20 @@ def main(argv=None):
         f"for {first['trace']['program']} on {args.preset}"
     )
 
+    # Diagnosed predict: the response carries the anomaly report.
+    status, diagnosed = client.request(
+        "POST", "/v1/predict", {**body, "diagnose": True}
+    )
+    check(status == 200, "diagnosed predict returns 200")
+    check(
+        diagnosed.get("diagnosis", {}).get("schema") == 1,
+        "diagnosed predict carries the report",
+    )
+    check(
+        diagnosed["key"] != first["key"],
+        "diagnosed responses cache under their own key",
+    )
+
     # Malformed input: one-line JSON error, with a spelling hint.
     status, err = client.request("POST", "/v1/predict", {"trase_path": "x"})
     check(status == 400, "unknown field is a 400")
@@ -122,6 +156,26 @@ def main(argv=None):
         f"jobs done {stats['jobs']['done']}"
     )
     check(cache.get("hits", 0) >= 1, "cache shows at least one hit")
+
+    # Prometheus scrape: valid text exposition of the same counters.
+    status, ctype, text = client.request_text("GET", "/v1/metrics")
+    check(status == 200, "metrics endpoint returns 200")
+    check(ctype.startswith("text/plain"), "metrics content type is text")
+    helped, typed = set(), set()
+    for line in text.splitlines():
+        if line.startswith("# HELP "):
+            helped.add(line.split()[2])
+        elif line.startswith("# TYPE "):
+            typed.add(line.split()[2])
+        elif not SAMPLE_RE.match(line):
+            raise SystemExit(f"FAIL: malformed sample line: {line!r}")
+    check(helped == typed and helped, "every family has HELP and TYPE")
+    check(
+        'extrap_requests_total{endpoint="predict"} 3' in text,
+        "request counters survived the projection",
+    )
+    check("extrap_cache_hits_total 1" in text, "cache counters exposed")
+    print(f"metrics: {len(helped)} families, exposition valid")
     print("all serve checks passed")
     return 0
 

@@ -7,8 +7,10 @@ Subcommands::
     extrap predict <trace> --preset cm5 [--set processor.mips_ratio=0.5]
     extrap predict <trace> --timeline run.json   # record the simulation
     extrap timeline run.json --ascii             # render / convert it
+    extrap timeline run.json --diagnose [--json] # anomaly report
     extrap predict <trace> --faults plan.json    # unreliable machine
     extrap validate <trace> [--no-global-barriers]  # structural checks
+    extrap validate <trace> --diagnose --faults plan.json  # detector check
     extrap report  <trace> --preset cm5      # full debugging report
     extrap study  <bench> --preset distributed_memory -p 1,2,4,8,16,32
     extrap machine <bench> -n 8              # reference CM-5 direct run
@@ -233,6 +235,8 @@ def cmd_timeline(args) -> int:
     from repro.obs.export import load_chrome_trace, write_counters_csv
     from repro.obs.gantt import ascii_gantt
 
+    if args.json and not args.diagnose:
+        return _input_error("--json requires --diagnose")
     problem = _require_file(args.timeline, "timeline file")
     if problem:
         return _input_error(problem)
@@ -243,6 +247,15 @@ def cmd_timeline(args) -> int:
     except OSError as exc:
         return _input_error(f"cannot read timeline {args.timeline}: {exc}")
     did_something = False
+    if args.diagnose:
+        from repro.diagnose import diagnose
+
+        report = diagnose(timeline)
+        if args.json:
+            sys.stdout.write(report.to_json())
+        else:
+            print(report.format())
+        did_something = True
     if args.ascii:
         print(ascii_gantt(timeline, width=args.width))
         did_something = True
@@ -307,6 +320,8 @@ def cmd_report(args) -> int:
 def cmd_validate(args) -> int:
     from repro.trace.validate import TraceValidationError, validate_trace
 
+    if args.json and not args.diagnose:
+        return _input_error("--json requires --diagnose")
     trace, problem = _load_trace(args.trace)
     if problem:
         return _input_error(problem)
@@ -317,11 +332,31 @@ def cmd_validate(args) -> int:
     except TraceValidationError as exc:
         print(f"{args.trace}: INVALID: {exc}")
         return 1
-    print(
-        f"{args.trace}: ok ({len(trace)} events, "
-        f"{trace.meta.n_threads} threads)"
-    )
-    print(f"{args.trace}: sha256 {trace.digest()}")
+    if not args.json:
+        print(
+            f"{args.trace}: ok ({len(trace)} events, "
+            f"{trace.meta.n_threads} threads)"
+        )
+        print(f"{args.trace}: sha256 {trace.digest()}")
+    if not args.diagnose:
+        return 0
+    from repro.diagnose import diagnose
+
+    params, problem = _resolve_params(args)
+    if problem:
+        return _input_error(problem)
+    params, problem = _load_faults(args, params)
+    if problem:
+        return _input_error(problem)
+    try:
+        outcome = extrapolate(trace, params, observe=True)
+    except SimulationStalled as exc:
+        return _input_error(str(exc))
+    report = diagnose(outcome.result.timeline)
+    if args.json:
+        sys.stdout.write(report.to_json())
+    else:
+        print(report.format())
     return 0
 
 
@@ -680,6 +715,17 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="re-export normalized Chrome trace-event JSON here",
     )
+    tl.add_argument(
+        "--diagnose",
+        action="store_true",
+        help="detect performance anomalies (stragglers, barrier "
+        "imbalance, comm hotspots, idle tails — see docs/DIAGNOSE.md)",
+    )
+    tl.add_argument(
+        "--json",
+        action="store_true",
+        help="with --diagnose: emit the report as deterministic JSON",
+    )
 
     r = sub.add_parser("report", help="full debugging report for a trace")
     r.add_argument("trace", help="trace file from 'extrap trace'")
@@ -706,6 +752,32 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="allow barriers that not every thread enters "
         "(pC++ barriers are global; disable for partial/hand-built traces)",
+    )
+    va.add_argument(
+        "--diagnose",
+        action="store_true",
+        help="also extrapolate the trace and report performance "
+        "anomalies (see docs/DIAGNOSE.md)",
+    )
+    va.add_argument("--preset", default="distributed_memory")
+    va.add_argument(
+        "--set",
+        action="append",
+        metavar="group.field=value",
+        help="override a parameter for the --diagnose extrapolation",
+    )
+    va.add_argument(
+        "--faults",
+        default=None,
+        metavar="PLAN.json",
+        help="inject faults from a FaultPlan JSON file before "
+        "diagnosing (a detector self-check: the plan's anomalies "
+        "must be flagged)",
+    )
+    va.add_argument(
+        "--json",
+        action="store_true",
+        help="with --diagnose: emit only the report as deterministic JSON",
     )
 
     b = sub.add_parser(

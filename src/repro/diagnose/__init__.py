@@ -1,0 +1,56 @@
+"""Automatic performance-anomaly detection over recorded timelines.
+
+:mod:`repro.obs` records *what happened* during a simulated execution;
+this package answers *why it was slow*.  :func:`diagnose` consumes a
+:class:`~repro.obs.recorder.Timeline` — live from
+``SimulationResult.timeline`` or loaded back from a Chrome trace-event
+file via :func:`repro.obs.export.load_chrome_trace` — and returns a
+ranked, byte-deterministic :class:`DiagnosisReport` of typed findings:
+stragglers, barrier imbalance, communication hotspots and idle tails
+(see :mod:`repro.diagnose.detectors` for the catalog and
+``docs/DIAGNOSE.md`` for the thresholds and JSON schema).
+
+Entry points:
+
+* ``extrap timeline RUN.json --diagnose [--json]`` — diagnose a
+  recorded timeline file;
+* ``extrap validate TRACE --diagnose [--faults PLAN.json]`` —
+  extrapolate and diagnose in one step (the fault injector provides
+  labeled positives, so this doubles as a detector self-check);
+* ``POST /v1/predict`` with ``"diagnose": true`` — the serve API
+  attaches the findings to the prediction response.
+"""
+
+from repro.diagnose.detectors import (
+    DEFAULT_THRESHOLDS,
+    DETECTORS,
+    DiagnoseThresholds,
+    detect_barrier_imbalance,
+    detect_comm_hotspots,
+    detect_idle_tail,
+    detect_stragglers,
+    diagnose,
+)
+from repro.diagnose.findings import (
+    KINDS,
+    SCHEMA_VERSION,
+    DiagnosisReport,
+    Finding,
+    make_finding,
+)
+
+__all__ = [
+    "DEFAULT_THRESHOLDS",
+    "DETECTORS",
+    "DiagnoseThresholds",
+    "DiagnosisReport",
+    "Finding",
+    "KINDS",
+    "SCHEMA_VERSION",
+    "detect_barrier_imbalance",
+    "detect_comm_hotspots",
+    "detect_idle_tail",
+    "detect_stragglers",
+    "diagnose",
+    "make_finding",
+]

@@ -1,0 +1,513 @@
+"""Anomaly detectors over recorded timelines.
+
+Each detector is a **pure function** ``(Timeline, DiagnoseThresholds) ->
+List[Finding]``: no randomness, no clock, no global state.  Fixed
+thresholds plus the deterministic simulation mean a diagnosis is
+byte-reproducible — the property the CLI/serve layers and the tests
+lean on.
+
+The committed fig4–fig9 parameter spaces are *structurally* imbalanced
+— Grid and Mgrid's (BLOCK, BLOCK) distribution idles whole processors
+at non-square counts, Sparse's row distribution is irregular — so
+detectors that compare raw busy or wait totals across processors
+cannot separate a healthy-but-lopsided run from an injected fault.
+Every detector therefore normalises against what the program *asked
+each processor to do*:
+
+``straggler``
+    A *slow* processor, not a busy one: the mean duration of a
+    processor's compute actions against the fleet median.  A processor
+    with 10x the work of its neighbours has many normal-length actions
+    (healthy imbalance, mean stays ~1x); a processor slowed by
+    interference runs the *same* actions longer (mean rises with the
+    slowdown).  Clean suite runs stay below 2.3x; injected stragglers
+    measure 5x and up.
+``barrier_imbalance``
+    Computing processors idle at barriers despite *balanced* compute:
+    net barrier wait (episode time minus busy time nested inside the
+    episodes) as a fraction of the run, gated on the busy spread of the
+    processors that actually compute *and* on the longest single wait
+    episode — an injected delay is one long episode; a barrier-bound
+    program accumulates its wait over many short ones.  The gates keep
+    the structural cases quiet — processors with no work at all (Grid
+    at non-square counts), runs whose waits are explained by uneven
+    work (Sparse), barrier-dominated runs (Matmul on CM-5 parameters)
+    — and keep straggler-induced waiting typed as ``straggler``.  The
+    finding names the *culprit*: the processor everyone waited on
+    (least net wait), not the victims.
+``comm_hotspot``
+    Communication concentrates: one src→owner pair or one receiving
+    processor handles far more than the uniform share of remote
+    accesses, or one receive queue holds a standing backlog far above
+    the fleet median (the absolute floor scales with the processor
+    count, because healthy service load per owner grows with the fleet).
+``idle_tail``
+    A processor goes dark well before the run ends (its last busy span
+    closes early): end-of-run load imbalance.
+
+Thresholds are tuned against the committed experiment spaces — every
+clean fig4–fig9 configuration must diagnose empty while seeded
+:class:`~repro.faults.plan.FaultPlan` stragglers and barrier delays are
+reliably flagged (see ``tests/test_diagnose.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from statistics import median
+from typing import Dict, List, Optional, Tuple
+
+from repro.diagnose.findings import DiagnosisReport, Finding, make_finding
+from repro.obs.recorder import Timeline, WAIT_CATEGORIES
+
+
+@dataclass(frozen=True)
+class DiagnoseThresholds:
+    """Fixed detector thresholds (all pure numbers, no hidden units)."""
+
+    #: straggler: flag a processor whose mean compute-action duration is
+    #: at least this multiple of the fleet median (clean suite maximum
+    #: is ~2.2x — Grid's unequal patch sizes; injected stragglers start
+    #: around 5x)
+    straggler_slow_factor: float = 3.5
+    #: straggler: need at least this many computing processors for the
+    #: fleet median to mean anything
+    straggler_min_procs: int = 3
+    #: straggler: only judge a processor running at least this share of
+    #: the median action count — a processor given *different* work
+    #: (Matmul's WHOLE dimensions run 24 big actions against the
+    #: fleet's 168 small ones) is heterogeneous, not slow
+    straggler_min_action_share: float = 0.5
+    #: barrier: only when the busy spread of computing processors is at
+    #: most this fraction of their median — wait explained by uneven
+    #: work (or by a straggler) is not a barrier problem
+    barrier_busy_balance: float = 0.75
+    #: barrier: flag when some computing processor's *net* barrier wait
+    #: (episodes minus busy nested inside) is at least this fraction of
+    #: the run (clean balanced runs stay below 0.45)
+    barrier_wait_frac: float = 0.65
+    #: barrier: ...and some single wait episode spans at least this
+    #: fraction of the run.  Injected delays stretch *individual*
+    #: episodes (a 20 ms delay is one 20 ms wait for everyone else);
+    #: barrier-bound-but-healthy runs accumulate their wait over many
+    #: short episodes (clean maximum 0.09 among runs passing the other
+    #: gates)
+    barrier_episode_frac: float = 0.12
+    #: comm: ignore timelines with fewer remote accesses than this
+    hotspot_min_accesses: int = 16
+    #: comm: flag a src→owner pair above this multiple of the uniform share
+    hotspot_pair_skew: float = 4.0
+    #: ...but only when its absolute share is at least this
+    hotspot_pair_min_share: float = 0.25
+    #: comm: flag a receiver above this multiple of the uniform 1/n share
+    hotspot_recv_skew: float = 6.0
+    #: ...but only when its absolute inbound share is at least this
+    hotspot_recv_min_share: float = 0.5
+    #: comm backlog: absolute floor on time-weighted mean queue depth
+    queue_mean_depth: float = 2.0
+    #: comm backlog: the floor scales as this many messages per
+    #: processor (healthy aggregate service load grows with the fleet:
+    #: clean Sparse reaches mean depth ~n/3)
+    queue_depth_per_proc: float = 0.5
+    #: comm backlog: ...and the depth must be this multiple of the
+    #: fleet median depth + 1 (a backlog everyone shares is the
+    #: program's nature, not a hotspot)
+    queue_skew: float = 4.0
+    #: idle tail: flag a processor idle for this trailing fraction of the run
+    idle_tail_frac: float = 0.25
+
+    def to_dict(self) -> Dict[str, float]:
+        return asdict(self)
+
+
+#: the default thresholds every entry point uses
+DEFAULT_THRESHOLDS = DiagnoseThresholds()
+
+
+# -- shared helpers ---------------------------------------------------------
+
+
+def _busy_us(timeline: Timeline, proc: int) -> float:
+    """Busy time on ``proc``: span totals excluding wait episodes."""
+    totals = timeline.category_totals(proc)
+    return sum(
+        v for cat, v in totals.items() if cat not in WAIT_CATEGORIES
+    )
+
+
+def _compute_stats(timeline: Timeline) -> Dict[int, Tuple[int, float]]:
+    """Per-processor ``(count, total_us)`` of *compute* spans.
+
+    Processors with no compute spans are absent — they were given no
+    work, and no detector should judge them against the workers.
+    """
+    stats: Dict[int, Tuple[int, float]] = {}
+    for p in range(timeline.n_procs):
+        count, total = 0, 0.0
+        for s in timeline.spans_for(p):
+            if s.category == "compute":
+                count += 1
+                total += s.duration
+        if count:
+            stats[p] = (count, total)
+    return stats
+
+
+def _barrier_wait_profile(timeline: Timeline, proc: int) -> Tuple[float, float]:
+    """``(net_wait_us, max_episode_us)`` for barrier waiting on ``proc``.
+
+    Wait spans record the wall-clock episode; a processor servicing
+    remote requests mid-wait is not idle, so the net figure subtracts
+    the busy overlap.  The max episode is the longest single merged
+    wait interval — the signature of a delayed barrier, as opposed to
+    wait accumulated over many short episodes.
+    """
+    spans = timeline.spans_for(proc)
+    waits = sorted(
+        (s.t0, s.t1) for s in spans if s.category == "barrier_wait"
+    )
+    if not waits:
+        return 0.0, 0.0
+    merged: List[Tuple[float, float]] = []
+    for t0, t1 in waits:
+        if merged and t0 <= merged[-1][1]:
+            if t1 > merged[-1][1]:
+                merged[-1] = (merged[-1][0], t1)
+        else:
+            merged.append((t0, t1))
+    episode = sum(t1 - t0 for t0, t1 in merged)
+    busy = sorted(
+        (s.t0, s.t1)
+        for s in spans
+        if s.category not in WAIT_CATEGORIES
+    )
+    nested = 0.0
+    i = 0
+    for b0, b1 in busy:
+        while i < len(merged) and merged[i][1] <= b0:
+            i += 1
+        j = i
+        while j < len(merged) and merged[j][0] < b1:
+            lo = max(b0, merged[j][0])
+            hi = min(b1, merged[j][1])
+            if hi > lo:
+                nested += hi - lo
+            j += 1
+    return episode - nested, max(t1 - t0 for t0, t1 in merged)
+
+
+def _instant_count(timeline: Timeline, name: str, proc: Optional[int] = None) -> int:
+    return sum(
+        1
+        for i in timeline.instants
+        if i.name == name and (proc is None or i.proc == proc)
+    )
+
+
+def _mean_counter(
+    timeline: Timeline, name: str
+) -> Optional[float]:
+    """Time-weighted mean of an on-change counter over ``[0, end_time]``.
+
+    ``None`` when the series is absent or the run has no extent.
+    """
+    series = timeline.counters.get(name)
+    end = timeline.end_time
+    if series is None or end <= 0:
+        return None
+    area = 0.0
+    prev_t, prev_v = 0.0, 0.0
+    for t, v in series.samples:
+        t = min(t, end)
+        if t > prev_t:
+            area += prev_v * (t - prev_t)
+        prev_t, prev_v = t, float(v)
+    if end > prev_t:
+        area += prev_v * (end - prev_t)
+    return area / end
+
+
+# -- detectors --------------------------------------------------------------
+
+
+def detect_stragglers(
+    timeline: Timeline, thresholds: DiagnoseThresholds = DEFAULT_THRESHOLDS
+) -> List[Finding]:
+    """Processors whose compute *actions* run slow against the fleet."""
+    if timeline.n_procs < 2 or timeline.end_time <= 0:
+        return []
+    stats = _compute_stats(timeline)
+    if len(stats) < thresholds.straggler_min_procs:
+        return []
+    mean_dur = {p: total / count for p, (count, total) in stats.items()}
+    fleet = median(mean_dur.values())
+    med_count = median(count for count, _ in stats.values())
+    if fleet <= 0:
+        return []
+    findings: List[Finding] = []
+    for p in sorted(mean_dur):
+        slowdown = mean_dur[p] / fleet
+        if slowdown < thresholds.straggler_slow_factor:
+            continue
+        if stats[p][0] < thresholds.straggler_min_action_share * med_count:
+            # Far fewer actions than the fleet: different work, not
+            # the same work running slow.
+            continue
+        evidence = {
+            "mean_action_us": mean_dur[p],
+            "fleet_median_us": fleet,
+            "slowdown": slowdown,
+            "n_actions": stats[p][0],
+            "busy_us": _busy_us(timeline, p),
+        }
+        injected = _instant_count(timeline, "fault.straggler", p)
+        if injected:
+            evidence["injected_stragglers"] = injected
+        findings.append(
+            make_finding(
+                "straggler",
+                min(1.0, slowdown / (2.0 * thresholds.straggler_slow_factor)),
+                f"compute actions average {mean_dur[p]:.0f} us, "
+                f"{slowdown:.1f}x the fleet median {fleet:.0f} us "
+                f"over {stats[p][0]} actions",
+                proc=p,
+                **evidence,
+            )
+        )
+    return findings
+
+
+def detect_barrier_imbalance(
+    timeline: Timeline, thresholds: DiagnoseThresholds = DEFAULT_THRESHOLDS
+) -> List[Finding]:
+    """Computing processors idle at barriers despite balanced work."""
+    end = timeline.end_time
+    if timeline.n_procs < 2 or end <= 0:
+        return []
+    stats = _compute_stats(timeline)
+    if len(stats) < 2:
+        return []
+    workers = sorted(stats)
+    busy = {p: _busy_us(timeline, p) for p in workers}
+    med_busy = median(busy.values())
+    if med_busy <= 0:
+        return []
+    balance = (max(busy.values()) - min(busy.values())) / med_busy
+    if balance > thresholds.barrier_busy_balance:
+        return []
+    profiles = {p: _barrier_wait_profile(timeline, p) for p in workers}
+    wait_frac = {p: profiles[p][0] / end for p in workers}
+    hi = max(wait_frac.values())
+    if hi < thresholds.barrier_wait_frac:
+        return []
+    max_episode = max(ep for _, ep in profiles.values())
+    if max_episode < thresholds.barrier_episode_frac * end:
+        # Wait accumulated over many short episodes is the program
+        # being barrier-bound, not a delayed barrier.
+        return []
+    # The culprit arrives late, so it waits the *least*; the others
+    # accumulate the wait it caused.  Ties resolve to the lowest pid.
+    lo = min(wait_frac.values())
+    culprit = min(p for p in workers if wait_frac[p] == lo)
+    n_barriers = _instant_count(timeline, "barrier_release")
+    evidence = {
+        "max_wait_frac": hi,
+        "min_wait_frac": lo,
+        "max_episode_frac": max_episode / end,
+        "busy_balance": balance,
+        "n_barriers": n_barriers,
+    }
+    delayed = _instant_count(timeline, "fault.barrier_delay")
+    if delayed:
+        evidence["injected_delays"] = delayed
+    return [
+        make_finding(
+            "barrier_imbalance",
+            min(1.0, hi),
+            f"barrier waits reach {hi:.0%} of the run while compute is "
+            f"balanced (spread {balance:.0%} of median); proc {culprit} "
+            f"arrives last and keeps the others waiting",
+            proc=culprit,
+            **evidence,
+        )
+    ]
+
+
+def _access_pairs(timeline: Timeline) -> Dict[Tuple[int, int], List[float]]:
+    """src→owner remote accesses: ``(src, owner) -> [count, bytes]``."""
+    pairs: Dict[Tuple[int, int], List[float]] = {}
+    for i in timeline.instants:
+        if i.name not in ("remote_read", "remote_write"):
+            continue
+        args = i.args_dict()
+        owner = args.get("owner")
+        if owner is None:
+            continue
+        entry = pairs.setdefault((i.proc, int(owner)), [0, 0.0])
+        entry[0] += 1
+        entry[1] += float(args.get("nbytes", 0))
+    return pairs
+
+
+def detect_comm_hotspots(
+    timeline: Timeline, thresholds: DiagnoseThresholds = DEFAULT_THRESHOLDS
+) -> List[Finding]:
+    """Concentrated remote-access traffic and receive-queue backlogs."""
+    n = timeline.n_procs
+    if n < 2 or timeline.end_time <= 0:
+        return []
+    findings: List[Finding] = []
+    pairs = _access_pairs(timeline)
+    total = sum(int(c) for c, _ in pairs.values())
+    if total >= thresholds.hotspot_min_accesses:
+        uniform_pair = 1.0 / (n * (n - 1))
+        # Worst pair first; deterministic tie-break on (src, owner).
+        for (src, owner), (count, nbytes) in sorted(
+            pairs.items(), key=lambda kv: (-kv[1][0], kv[0])
+        ):
+            share = count / total
+            if (
+                share >= thresholds.hotspot_pair_min_share
+                and share >= thresholds.hotspot_pair_skew * uniform_pair
+            ):
+                findings.append(
+                    make_finding(
+                        "comm_hotspot",
+                        min(1.0, share),
+                        f"{int(count)} of {total} remote accesses "
+                        f"({share:.0%}) go proc {src} -> proc {owner} "
+                        f"({nbytes:.0f} bytes requested)",
+                        proc=src,
+                        pair_src=src,
+                        pair_owner=owner,
+                        accesses=int(count),
+                        total_accesses=total,
+                        share=share,
+                        bytes=nbytes,
+                    )
+                )
+        # Receiver concentration: who owns the data everyone needs?
+        inbound: Dict[int, int] = {}
+        for (_, owner), (count, _) in pairs.items():
+            inbound[owner] = inbound.get(owner, 0) + int(count)
+        uniform_recv = 1.0 / n
+        for owner in sorted(inbound, key=lambda o: (-inbound[o], o)):
+            share = inbound[owner] / total
+            if (
+                share >= thresholds.hotspot_recv_min_share
+                and share >= thresholds.hotspot_recv_skew * uniform_recv
+            ):
+                evidence = {
+                    "inbound_accesses": inbound[owner],
+                    "total_accesses": total,
+                    "share": share,
+                }
+                depth = _mean_counter(
+                    timeline, f"proc{owner}.rxq_depth"
+                )
+                if depth is not None:
+                    evidence["mean_rxq_depth"] = depth
+                findings.append(
+                    make_finding(
+                        "comm_hotspot",
+                        min(1.0, share),
+                        f"proc {owner} serves {inbound[owner]} of {total} "
+                        f"remote accesses ({share:.0%}; uniform would be "
+                        f"{uniform_recv:.0%})",
+                        proc=owner,
+                        **evidence,
+                    )
+                )
+    # Standing receive-queue backlog, independent of the access count:
+    # queueing delay that the pair/receiver shares cannot see.  The
+    # absolute floor scales with n, and the depth must dwarf the fleet
+    # median — a backlog every queue shares is load, not a hotspot.
+    floor = max(
+        thresholds.queue_mean_depth, thresholds.queue_depth_per_proc * n
+    )
+    depths = {}
+    for p in range(n):
+        d = _mean_counter(timeline, f"proc{p}.rxq_depth")
+        depths[p] = 0.0 if d is None else d
+    med_depth = median(depths.values())
+    for p in range(n):
+        depth = depths[p]
+        if depth >= floor and depth >= thresholds.queue_skew * (med_depth + 1.0):
+            findings.append(
+                make_finding(
+                    "comm_hotspot",
+                    min(1.0, depth / (depth + 4.0)),
+                    f"receive queue holds {depth:.2f} messages on "
+                    f"time-weighted average (fleet median "
+                    f"{med_depth:.2f})",
+                    proc=p,
+                    mean_rxq_depth=depth,
+                    median_rxq_depth=med_depth,
+                )
+            )
+    return findings
+
+
+def detect_idle_tail(
+    timeline: Timeline, thresholds: DiagnoseThresholds = DEFAULT_THRESHOLDS
+) -> List[Finding]:
+    """Computing processors that go dark well before the run ends.
+
+    Processors that never compute are skipped: a processor the program
+    gave no work goes dark by construction, not by imbalance.
+    """
+    n = timeline.n_procs
+    end = timeline.end_time
+    if n < 2 or end <= 0:
+        return []
+    findings: List[Finding] = []
+    workers = _compute_stats(timeline)
+    for p in sorted(workers):
+        last_busy = 0.0
+        for s in timeline.spans_for(p):
+            if s.category not in WAIT_CATEGORIES and s.t1 > last_busy:
+                last_busy = s.t1
+        tail = end - last_busy
+        tail_frac = tail / end
+        if tail_frac >= thresholds.idle_tail_frac:
+            findings.append(
+                make_finding(
+                    "idle_tail",
+                    min(1.0, tail_frac),
+                    f"idle for the last {tail:.0f} us "
+                    f"({tail_frac:.0%} of the run; last busy span ends "
+                    f"at {last_busy:.0f} us)",
+                    proc=p,
+                    last_busy_us=last_busy,
+                    tail_us=tail,
+                    tail_frac=tail_frac,
+                )
+            )
+    return findings
+
+
+#: detector registry, in catalog order
+DETECTORS = (
+    detect_stragglers,
+    detect_barrier_imbalance,
+    detect_comm_hotspots,
+    detect_idle_tail,
+)
+
+
+def diagnose(
+    timeline: Timeline,
+    thresholds: DiagnoseThresholds = DEFAULT_THRESHOLDS,
+) -> DiagnosisReport:
+    """Run every detector and return the ranked report."""
+    findings: List[Finding] = []
+    for detector in DETECTORS:
+        findings.extend(detector(timeline, thresholds))
+    return DiagnosisReport(
+        n_procs=timeline.n_procs,
+        end_time=timeline.end_time,
+        program=timeline.program,
+        params_name=timeline.params_name,
+        findings=findings,
+        thresholds=thresholds.to_dict(),
+    )

@@ -127,9 +127,27 @@ def write_chrome_trace(timeline: Timeline, path: str | Path) -> Path:
     return path
 
 
+def _ev_number(ev: dict, key: str, where: str, *, default=None):
+    """A required-or-defaulted numeric event field, or a one-line error."""
+    value = ev.get(key, default)
+    if value is None:
+        raise ValueError(f"{where}: missing required field {key!r}")
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ValueError(
+            f"{where}: field {key!r} must be a number, got {value!r}"
+        )
+    return value
+
+
 def load_chrome_trace(path: str | Path) -> Timeline:
     """Read a file written by :func:`write_chrome_trace` back into a
-    :class:`~repro.obs.recorder.Timeline`."""
+    :class:`~repro.obs.recorder.Timeline`.
+
+    Malformed trace-event JSON — an event missing ``ph`` or ``ts``, or
+    carrying a non-numeric timestamp — raises :class:`ValueError` with
+    a one-line message naming the offending event, which the CLI maps
+    to its usual exit-2 input error.
+    """
     path = Path(path)
     try:
         data = json.loads(path.read_text(encoding="utf-8"))
@@ -139,6 +157,8 @@ def load_chrome_trace(path: str | Path) -> Timeline:
         raise ValueError(
             f"{path}: not a Chrome trace-event file (no traceEvents key)"
         )
+    if not isinstance(data["traceEvents"], list):
+        raise ValueError(f"{path}: traceEvents must be a list")
     other = data.get("otherData", {})
     schema = other.get("schema")
     if schema is not None and schema != SCHEMA_VERSION:
@@ -150,39 +170,59 @@ def load_chrome_trace(path: str | Path) -> Timeline:
     instants: List[Instant] = []
     counters: Dict[str, CounterSeries] = {}
     max_pid = -1
-    for ev in data["traceEvents"]:
+    for i, ev in enumerate(data["traceEvents"]):
+        where = f"{path}: traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            raise ValueError(
+                f"{where}: expected an object, got {type(ev).__name__}"
+            )
         ph = ev.get("ph")
+        if ph is None:
+            raise ValueError(f"{where}: missing required field 'ph'")
+        if ph not in ("X", "i", "C"):
+            # Unknown phases are skipped: other tools add metadata
+            # events (ph "M", "b"/"e", ...), but they still must be
+            # tagged as such — an event with no phase at all is refused
+            # above rather than silently dropped.
+            continue
+        ts = _ev_number(ev, "ts", where)
+        name = ev.get("name")
+        if not isinstance(name, str) or not name:
+            raise ValueError(
+                f"{where}: field 'name' must be a non-empty string, "
+                f"got {name!r}"
+            )
         if ph == "X":
+            pid = int(_ev_number(ev, "pid", where))
             spans.append(
                 Span(
-                    proc=int(ev["pid"]),
-                    category=ev["name"],
-                    t0=ev["ts"],
-                    t1=ev["ts"] + ev.get("dur", 0),
+                    proc=pid,
+                    category=name,
+                    t0=ts,
+                    t1=ts + _ev_number(ev, "dur", where, default=0),
                 )
             )
-            max_pid = max(max_pid, int(ev["pid"]))
+            max_pid = max(max_pid, pid)
         elif ph == "i":
+            pid = int(_ev_number(ev, "pid", where))
             instants.append(
                 Instant(
-                    proc=int(ev["pid"]),
-                    name=ev["name"],
-                    t=ev["ts"],
+                    proc=pid,
+                    name=name,
+                    t=ts,
                     args=tuple(sorted(ev.get("args", {}).items())),
                 )
             )
-            max_pid = max(max_pid, int(ev["pid"]))
+            max_pid = max(max_pid, pid)
         elif ph == "C":
-            name = ev["name"]
             series = counters.get(name)
             if series is None:
                 series = counters[name] = CounterSeries(name)
             # Keep JSON-native number types (int vs float) so a loaded
             # timeline re-exports byte-identically.
             series.samples.append(
-                (ev["ts"], ev.get("args", {}).get("value", 0))
+                (ts, ev.get("args", {}).get("value", 0))
             )
-        # Unknown phases are ignored: other tools may add metadata.
     n_procs = other.get("n_processors", max_pid + 1)
     end_time = other.get(
         "end_time_us", max((s.t1 for s in spans), default=0.0)

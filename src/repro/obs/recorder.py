@@ -145,7 +145,7 @@ class TimelineRecorder:
         params_name: str = "",
     ) -> "Timeline":
         """Freeze the recording into an immutable, sorted :class:`Timeline`."""
-        return Timeline(
+        timeline = Timeline(
             n_procs=n_procs,
             end_time=end_time,
             program=program,
@@ -161,6 +161,11 @@ class TimelineRecorder:
                 for name in sorted(self._counters)
             },
         )
+        # Precompute the per-processor span index while the timeline is
+        # hot: per-proc queries (diagnosis, Gantt lanes) then never
+        # rescan the flat span list.
+        timeline._index()
+        return timeline
 
 
 @dataclass
@@ -180,10 +185,31 @@ class Timeline:
     instants: List[Instant] = field(default_factory=list)
     counters: Mapping[str, CounterSeries] = field(default_factory=dict)
 
+    # -- per-processor span index --------------------------------------------
+
+    def _index(self) -> Dict[int, List[Span]]:
+        """Per-processor span lists + category totals, built once.
+
+        :meth:`TimelineRecorder.finalize` precomputes this; lazily
+        (re)built otherwise, keyed on the span count so hand-assembled
+        timelines that append spans after a query stay correct.
+        """
+        if getattr(self, "_index_spans", -1) != len(self.spans):
+            by_proc: Dict[int, List[Span]] = {}
+            totals: Dict[int, Dict[str, float]] = {}
+            for s in self.spans:
+                by_proc.setdefault(s.proc, []).append(s)
+                t = totals.setdefault(s.proc, {})
+                t[s.category] = t.get(s.category, 0.0) + s.duration
+            self._by_proc = by_proc
+            self._totals_by_proc = totals
+            self._index_spans = len(self.spans)
+        return self._by_proc
+
     # -- queries -------------------------------------------------------------
 
     def spans_for(self, proc: int) -> List[Span]:
-        return [s for s in self.spans if s.proc == proc]
+        return list(self._index().get(proc, ()))
 
     def category_totals(self, proc: Optional[int] = None) -> Dict[str, float]:
         """Summed span duration per category (optionally one processor).
@@ -193,11 +219,15 @@ class Timeline:
         categories sum to *episode* (wall) time — see
         :data:`WAIT_CATEGORIES`.
         """
+        self._index()
+        if proc is not None:
+            return dict(self._totals_by_proc.get(proc, {}))
+        # Merge per-proc subtotals in ascending pid order: deterministic
+        # (and agrees with a flat scan to float associativity).
         totals: Dict[str, float] = {}
-        for s in self.spans:
-            if proc is not None and s.proc != proc:
-                continue
-            totals[s.category] = totals.get(s.category, 0.0) + s.duration
+        for p in sorted(self._totals_by_proc):
+            for cat, v in self._totals_by_proc[p].items():
+                totals[cat] = totals.get(cat, 0.0) + v
         return totals
 
     def counter_names(self) -> List[str]:

@@ -1,6 +1,6 @@
 """Engine benchmark harness: the perf trajectory behind ``BENCH_engine.json``.
 
-Five seeded reference workloads exercise the layers of the hot path:
+Six seeded reference workloads exercise the layers of the hot path:
 
 * ``timeout_chain`` — the pure event loop (Timeout-only, the
   ``run_batched`` fast-path case);
@@ -10,7 +10,10 @@ Five seeded reference workloads exercise the layers of the hot path:
 * ``sweep`` — a cold-then-warm design-space sweep through
   :func:`repro.sweep.run_sweep` (points/s plus warm-cache hit rate);
 * ``serve`` — warm-cache ``POST /v1/predict`` requests against an
-  in-process :mod:`repro.serve` server (memoized requests/s over HTTP).
+  in-process :mod:`repro.serve` server (memoized requests/s over HTTP);
+* ``diagnose`` — repeated :func:`repro.diagnose.diagnose` passes over
+  one observed replay's timeline (spans scanned/s through the
+  per-processor span index).
 
 :func:`run_benchmarks` times each (best of N repeats) and
 :func:`write_baseline` persists the result as ``BENCH_engine.json`` so
@@ -187,6 +190,32 @@ def serve_requests(n_requests: int = 32) -> dict:
     }
 
 
+def diagnose_passes(n_passes: int = 32) -> dict:
+    """Repeated diagnosis of one observed replay's timeline.
+
+    Builds the timeline once (a 16-processor ``cyclic`` replay with
+    ``observe=True``), then runs the full detector catalog ``n_passes``
+    times; events/s is timeline spans scanned per second, which is what
+    the per-processor span index precomputed at ``finalize()`` feeds.
+    """
+    from repro.bench.suite import get_benchmark
+    from repro.core import presets
+    from repro.core.pipeline import extrapolate, measure
+    from repro.diagnose import diagnose
+
+    info = get_benchmark("cyclic")
+    trace = measure(info.make_program()(16), 16, name="cyclic")
+    outcome = extrapolate(trace, presets.distributed_memory(), observe=True)
+    timeline = outcome.result.timeline
+    n_findings = 0
+    for _ in range(n_passes):
+        n_findings = len(diagnose(timeline).findings)
+    return {
+        "events": n_passes * len(timeline.spans),
+        "findings": n_findings,
+    }
+
+
 #: name -> (workload(scaled_size) -> processed event count, base size).
 #: A workload may instead return a dict with an ``"events"`` key plus
 #: extra metrics to merge into its results record.
@@ -196,6 +225,7 @@ WORKLOADS: Dict[str, tuple] = {
     "simulator": (simulator_replay, 8),
     "sweep": (sweep_points, 8),
     "serve": (serve_requests, 32),
+    "diagnose": (diagnose_passes, 32),
 }
 
 
@@ -221,7 +251,7 @@ def run_benchmarks(
     # structure is its workload, and the sweep/serve fixed overhead
     # (trace measurement, the cold first request) would otherwise
     # dominate at small sizes.
-    fixed_shape = ("simulator", "sweep", "serve")
+    fixed_shape = ("simulator", "sweep", "serve", "diagnose")
     for name, (fn, base_size) in selected.items():
         size = base_size if name in fixed_shape else max(1, int(base_size * scale))
         fn(size)  # warm-up run (imports, allocator)

@@ -8,6 +8,7 @@ queue state.  See :mod:`repro.serve.service` for the endpoint logic and
 
 from repro.serve.http import ExtrapServer, run_server, start_server
 from repro.serve.jobs import JobQueue, QueueClosedError, QueueFullError
+from repro.serve.metrics import METRICS_CONTENT_TYPE, render_metrics
 from repro.serve.schema import ApiError
 from repro.serve.service import ExtrapService
 
@@ -16,8 +17,10 @@ __all__ = [
     "ExtrapServer",
     "ExtrapService",
     "JobQueue",
+    "METRICS_CONTENT_TYPE",
     "QueueClosedError",
     "QueueFullError",
+    "render_metrics",
     "run_server",
     "start_server",
 ]

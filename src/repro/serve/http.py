@@ -12,9 +12,12 @@ GET     ``/v1/jobs/<id>``       job status
 GET     ``/v1/jobs/<id>/result``  finished job's artifact (409 until done)
 GET     ``/v1/healthz``         liveness probe
 GET     ``/v1/stats``           cache/queue/uptime counters
+GET     ``/v1/metrics``         the same counters, Prometheus text format
 ======  ======================  ==========================================
 
-Every response body is JSON.  Failures follow one contract: a JSON
+Every response body is JSON except ``/v1/metrics``, which serves the
+Prometheus text exposition format (the one endpoint scrapers consume
+as plain text).  Failures follow one contract: a JSON
 object ``{"error": {"status": N, "message": "<one line>"}}`` — a
 traceback never crosses the wire (unexpected exceptions become a 500
 with the exception's one-line summary; the full traceback goes to the
@@ -41,6 +44,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Any, Dict, Optional, Tuple
 
+from repro.serve.metrics import METRICS_CONTENT_TYPE, render_metrics
 from repro.serve.schema import ApiError
 from repro.serve.service import ExtrapService
 from repro.sweep.cache import ResultCache
@@ -74,6 +78,14 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
     def _send_error_json(self, status: int, message: str) -> None:
         self._send_json(
             status, {"error": {"status": status, "message": message}}
@@ -99,8 +111,12 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- dispatch ------------------------------------------------------------
 
-    def _route(self, method: str) -> Tuple[str, Dict[str, Any]]:
-        """Resolve the request to (endpoint-name, response payload)."""
+    def _route(self, method: str) -> Tuple[str, Any]:
+        """Resolve the request to (endpoint-name, response payload).
+
+        The payload is a JSON-safe dict for every endpoint except
+        ``metrics``, whose payload is the pre-rendered exposition text.
+        """
         path = self.path.split("?", 1)[0].rstrip("/") or "/"
         service = self.service
         if method == "GET":
@@ -108,6 +124,8 @@ class _Handler(BaseHTTPRequestHandler):
                 return "healthz", service.healthz()
             if path == "/v1/stats":
                 return "stats", service.stats()
+            if path == "/v1/metrics":
+                return "metrics", render_metrics(service.stats())
             if path.startswith("/v1/jobs/"):
                 rest = path[len("/v1/jobs/") :]
                 if rest.endswith("/result"):
@@ -131,7 +149,10 @@ class _Handler(BaseHTTPRequestHandler):
             endpoint, payload = self._route(method)
             self.service.count_request(endpoint)
             status = 202 if endpoint == "sweeps" else 200
-            self._send_json(status, payload)
+            if isinstance(payload, str):
+                self._send_text(status, payload, METRICS_CONTENT_TYPE)
+            else:
+                self._send_json(status, payload)
         except ApiError as exc:
             status = exc.status
             self.service.count_request("error")

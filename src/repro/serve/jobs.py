@@ -148,6 +148,25 @@ class JobQueue:
                 out[job.status] += 1
         return out
 
+    def run_stats(self) -> Dict[str, Dict[str, float]]:
+        """Finished-job latency per kind: ``{kind: {count, sum_s}}``.
+
+        Count/sum is the Prometheus summary convention — the scraper
+        derives rates and means; the queue keeps no histogram.
+        """
+        out: Dict[str, Dict[str, float]] = {}
+        with self._lock:
+            for job in self._jobs.values():
+                if job.started_s is None or job.finished_s is None:
+                    continue
+                entry = out.setdefault(job.kind, {"count": 0, "sum_s": 0.0})
+                entry["count"] += 1
+                entry["sum_s"] += job.finished_s - job.started_s
+        return {
+            kind: {"count": v["count"], "sum_s": round(v["sum_s"], 6)}
+            for kind, v in sorted(out.items())
+        }
+
     # -- execution -----------------------------------------------------------
 
     def _worker(self) -> None:

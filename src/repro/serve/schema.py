@@ -122,10 +122,18 @@ class PredictRequest:
     trace_inline: Optional[Mapping[str, Any]] = None
     trace_path: Optional[str] = None
     wall_budget: Optional[float] = None
+    diagnose: bool = False
 
 
 #: keys a predict request may carry
-PREDICT_KEYS = ("trace", "trace_path", "preset", "overrides", "wall_budget")
+PREDICT_KEYS = (
+    "trace",
+    "trace_path",
+    "preset",
+    "overrides",
+    "wall_budget",
+    "diagnose",
+)
 
 
 def validate_predict_request(body: Any) -> PredictRequest:
@@ -148,12 +156,16 @@ def validate_predict_request(body: Any) -> PredictRequest:
     wall_budget = _number(body, "wall_budget", "predict request")
     if wall_budget is not None and wall_budget <= 0:
         raise bad_request(f"'wall_budget' must be > 0, got {wall_budget!r}")
+    diagnose = body.get("diagnose", False)
+    if not isinstance(diagnose, bool):
+        raise bad_request(f"'diagnose' must be a boolean, got {diagnose!r}")
     return PredictRequest(
         preset=preset,
         overrides=overrides,
         trace_inline=inline,
         trace_path=path,
         wall_budget=wall_budget,
+        diagnose=diagnose,
     )
 
 

@@ -178,6 +178,7 @@ class ExtrapService:
             "jobs": {
                 **self.jobs.counts(),
                 "queue_depth_limit": self.jobs.depth,
+                "run_seconds": self.jobs.run_stats(),
             },
         }
 
@@ -190,7 +191,15 @@ class ExtrapService:
         except ValueError as exc:
             raise bad_request(str(exc)) from None
         digest = trace.digest()
-        key = result_key(digest, params, extra=PREDICT_CACHE_EXTRA)
+        # A diagnosed payload carries extra content, so it caches under
+        # its own namespace — a plain predict can never replay a
+        # diagnosis-shaped entry or vice versa.
+        extra = (
+            {**PREDICT_CACHE_EXTRA, "diagnose": 1}
+            if req.diagnose
+            else PREDICT_CACHE_EXTRA
+        )
+        key = result_key(digest, params, extra=extra)
         payload = self.cache.get(key) if self.cache is not None else None
         cached = payload is not None
         if payload is None:
@@ -198,20 +207,24 @@ class ExtrapService:
                 outcome = extrapolate(
                     trace,
                     params,
+                    observe=req.diagnose,
                     wall_clock_budget=self._clamp_budget(req.wall_budget),
                 )
             except SimulationStalled as exc:
                 raise ApiError(504, str(exc)) from None
+            body_out = {
+                "metrics": result_record(outcome),
+                "report": predict_summary(params, outcome),
+            }
+            if req.diagnose:
+                from repro.diagnose import diagnose
+
+                body_out["diagnosis"] = diagnose(
+                    outcome.result.timeline
+                ).to_dict()
             # Round-trip through JSON so a fresh response is
             # byte-identical to the cached replay of itself.
-            payload = json.loads(
-                json.dumps(
-                    {
-                        "metrics": result_record(outcome),
-                        "report": predict_summary(params, outcome),
-                    }
-                )
-            )
+            payload = json.loads(json.dumps(body_out))
             if self.cache is not None:
                 self.cache.put(key, payload)
         return {

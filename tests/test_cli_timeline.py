@@ -163,7 +163,7 @@ def test_bench_update_baseline(tmp_path, capsys, monkeypatch):
     data = json.loads(baseline.read_text())
     assert data["schema"] == 1
     assert set(data["workloads"]) == {
-        "timeout_chain", "pingpong", "simulator", "sweep", "serve",
+        "timeout_chain", "pingpong", "simulator", "sweep", "serve", "diagnose",
     }
     # Second run compares against it, then rewrites in place.
     assert main(args) == 0

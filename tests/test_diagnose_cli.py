@@ -1,0 +1,184 @@
+"""CLI surface of the diagnosis engine: ``extrap timeline --diagnose``
+and ``extrap validate --diagnose``."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+STRAGGLER_PLAN = {"seed": 7, "straggler_rate": 0.08, "straggler_factor": 16.0}
+BARRIER_PLAN = {"seed": 2, "barrier_delay_rate": 0.15, "barrier_delay": 50000.0}
+
+
+@pytest.fixture(scope="module")
+def traced(tmp_path_factory):
+    path = tmp_path_factory.mktemp("traces") / "embar.jsonl"
+    assert main(["trace", "embar", "-n", "8", "-o", str(path)]) == 0
+    return path
+
+
+@pytest.fixture(scope="module")
+def plan_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("plans") / "straggler.json"
+    path.write_text(json.dumps(STRAGGLER_PLAN))
+    return path
+
+
+@pytest.fixture(scope="module")
+def faulty_timeline(tmp_path_factory, traced, plan_file):
+    out = tmp_path_factory.mktemp("timelines") / "faulty.json"
+    assert (
+        main(
+            [
+                "predict",
+                str(traced),
+                "--faults",
+                str(plan_file),
+                "--timeline",
+                str(out),
+            ]
+        )
+        == 0
+    )
+    return out
+
+
+# -- extrap timeline --diagnose ----------------------------------------------
+
+
+def test_timeline_diagnose_human_report(faulty_timeline, capsys):
+    assert main(["timeline", str(faulty_timeline), "--diagnose"]) == 0
+    out = capsys.readouterr().out
+    assert "diagnosis: embar on 8 processors" in out
+    assert "straggler" in out
+    assert "slowdown=" in out
+
+
+def test_timeline_diagnose_json_byte_deterministic(faulty_timeline, capsys):
+    """Acceptance: --diagnose --json output is byte-identical across runs."""
+
+    def run():
+        assert (
+            main(["timeline", str(faulty_timeline), "--diagnose", "--json"])
+            == 0
+        )
+        return capsys.readouterr().out
+
+    first, second = run(), run()
+    assert first == second
+    doc = json.loads(first)
+    assert doc["schema"] == 1
+    assert any(f["kind"] == "straggler" for f in doc["findings"])
+    assert doc["thresholds"]["straggler_slow_factor"] == 3.5
+
+
+def test_timeline_json_requires_diagnose(faulty_timeline, capsys):
+    assert main(["timeline", str(faulty_timeline), "--json"]) == 2
+    assert "--json requires --diagnose" in capsys.readouterr().err
+
+
+def test_timeline_diagnose_rejects_malformed_trace(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"traceEvents": [{"name": "x", "ts": 1.0}]}))
+    assert main(["timeline", str(bad), "--diagnose"]) == 2
+    err = capsys.readouterr().err
+    assert "missing required field 'ph'" in err
+    assert len(err.strip().splitlines()) == 1  # one-line contract
+
+
+# -- extrap validate --diagnose ----------------------------------------------
+
+
+def test_validate_diagnose_clean_run_is_quiet(traced, capsys):
+    assert main(["validate", str(traced), "--diagnose"]) == 0
+    out = capsys.readouterr().out
+    assert "ok (" in out
+    assert "no anomalies detected" in out
+
+
+def test_validate_diagnose_flags_injected_straggler(
+    traced, plan_file, capsys
+):
+    assert (
+        main(
+            [
+                "validate",
+                str(traced),
+                "--diagnose",
+                "--faults",
+                str(plan_file),
+                "--json",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    doc = json.loads(out)
+    kinds = {f["kind"] for f in doc["findings"]}
+    assert "straggler" in kinds
+
+
+def test_validate_diagnose_flags_injected_barrier_delay(
+    traced, tmp_path, capsys
+):
+    plan = tmp_path / "barrier.json"
+    plan.write_text(json.dumps(BARRIER_PLAN))
+    assert (
+        main(
+            [
+                "validate",
+                str(traced),
+                "--diagnose",
+                "--faults",
+                str(plan),
+                "--json",
+            ]
+        )
+        == 0
+    )
+    doc = json.loads(capsys.readouterr().out)
+    kinds = {f["kind"] for f in doc["findings"]}
+    assert "barrier_imbalance" in kinds
+
+
+def test_validate_diagnose_json_is_pure(traced, plan_file, capsys):
+    """--json suppresses the ok/sha256 lines: stdout is one JSON doc."""
+    assert (
+        main(
+            [
+                "validate",
+                str(traced),
+                "--diagnose",
+                "--faults",
+                str(plan_file),
+                "--json",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    json.loads(out)  # the whole stream parses
+    assert out.count("\n") == 1
+
+
+def test_validate_json_requires_diagnose(traced, capsys):
+    assert main(["validate", str(traced), "--json"]) == 2
+    assert "--json requires --diagnose" in capsys.readouterr().err
+
+
+def test_validate_diagnose_bad_preset_is_input_error(traced, capsys):
+    assert (
+        main(["validate", str(traced), "--diagnose", "--preset", "nope"]) == 2
+    )
+    assert "nope" in capsys.readouterr().err
+
+
+def test_validate_diagnose_missing_plan_is_input_error(traced, capsys):
+    assert (
+        main(
+            ["validate", str(traced), "--diagnose", "--faults", "/no/plan.json"]
+        )
+        == 2
+    )
+    assert "fault plan" in capsys.readouterr().err

@@ -141,6 +141,73 @@ def test_loader_rejects_garbage(tmp_path):
         load_chrome_trace(wrong_schema)
 
 
+def _trace_doc(events):
+    return json.dumps({"traceEvents": events, "otherData": {"schema": 1}})
+
+
+@pytest.mark.parametrize(
+    "event,match",
+    [
+        ({"name": "compute", "pid": 0, "ts": 1.0}, "missing required field 'ph'"),
+        ({"ph": "X", "name": "compute", "pid": 0}, "missing required field 'ts'"),
+        (
+            {"ph": "X", "name": "compute", "pid": 0, "ts": "soon"},
+            "'ts' must be a number",
+        ),
+        (
+            {"ph": "i", "name": "mark", "pid": 0, "ts": True},
+            "'ts' must be a number",
+        ),
+        ({"ph": "X", "name": "compute", "ts": 1.0}, "missing required field 'pid'"),
+        (
+            {"ph": "X", "name": "compute", "pid": 0, "ts": 1.0, "dur": "5"},
+            "'dur' must be a number",
+        ),
+        ({"ph": "X", "pid": 0, "ts": 1.0}, "'name' must be a non-empty string"),
+        (
+            {"ph": "C", "name": "", "ts": 1.0, "args": {"value": 1}},
+            "'name' must be a non-empty string",
+        ),
+        ("not-an-object", "expected an object"),
+    ],
+)
+def test_loader_rejects_malformed_events(tmp_path, event, match):
+    path = tmp_path / "bad.json"
+    path.write_text(_trace_doc([event]))
+    with pytest.raises(ValueError, match=match):
+        load_chrome_trace(path)
+
+
+def test_loader_names_offending_event_index(tmp_path):
+    path = tmp_path / "bad.json"
+    good = {"ph": "X", "name": "compute", "pid": 0, "ts": 0.0, "dur": 1.0}
+    path.write_text(_trace_doc([good, {"name": "x", "ts": 2.0}]))
+    with pytest.raises(ValueError, match=r"traceEvents\[1\]"):
+        load_chrome_trace(path)
+
+
+def test_loader_rejects_non_list_trace_events(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({"traceEvents": {"ph": "X"}}))
+    with pytest.raises(ValueError, match="must be a list"):
+        load_chrome_trace(path)
+
+
+def test_loader_skips_foreign_phases(tmp_path):
+    """Metadata events from other tools pass through untouched."""
+    path = tmp_path / "meta.json"
+    path.write_text(
+        _trace_doc(
+            [
+                {"ph": "M", "name": "process_name", "pid": 0},
+                {"ph": "X", "name": "compute", "pid": 0, "ts": 0.0, "dur": 2.0},
+            ]
+        )
+    )
+    loaded = load_chrome_trace(path)
+    assert [s.category for s in loaded.spans] == ["compute"]
+
+
 def test_counters_csv(tmp_path):
     tl = small_timeline()
     csv = counters_csv(tl)

@@ -1,0 +1,82 @@
+"""Edge cases for the derived timeline samplers.
+
+The happy path (real simulated runs) lives in test_obs_recorder.py;
+this file pins the degenerate inputs the ``extrap timeline`` CLI can
+feed the samplers: empty timelines, a single span, zero-duration runs.
+"""
+
+import pytest
+
+from repro.obs.recorder import TimelineRecorder
+from repro.obs.samplers import busy_fraction_series, utilization_series
+
+
+def _timeline(n_procs=1, end_time=0.0, spans=()):
+    rec = TimelineRecorder()
+    for proc, category, t0, t1 in spans:
+        rec.span(proc, category, t0, t1)
+    return rec.finalize(n_procs=n_procs, end_time=end_time)
+
+
+def test_busy_fraction_empty_timeline():
+    tl = _timeline(n_procs=2, end_time=10.0)
+    series = busy_fraction_series(tl, 0, n_buckets=4)
+    assert len(series) == 4
+    assert all(v == 0.0 for _, v in series)
+
+
+def test_busy_fraction_zero_duration_run():
+    tl = _timeline(n_procs=1, end_time=0.0)
+    assert busy_fraction_series(tl, 0, n_buckets=4) == []
+
+
+def test_busy_fraction_single_span():
+    tl = _timeline(end_time=10.0, spans=[(0, "compute", 2.0, 7.0)])
+    series = busy_fraction_series(tl, 0, n_buckets=10)
+    assert [round(v, 6) for _, v in series] == [
+        0.0, 0.0, 1.0, 1.0, 1.0, 1.0, 1.0, 0.0, 0.0, 0.0
+    ]
+    # Bucket midpoints partition [0, end].
+    assert [t for t, _ in series] == [i + 0.5 for i in range(10)]
+
+
+def test_busy_fraction_span_past_end_clamps():
+    tl = _timeline(end_time=4.0, spans=[(0, "compute", 3.0, 9.0)])
+    series = busy_fraction_series(tl, 0, n_buckets=4)
+    assert all(0.0 <= v <= 1.0 for _, v in series)
+    assert series[-1][1] == 1.0
+
+
+def test_busy_fraction_other_proc_is_empty():
+    tl = _timeline(n_procs=2, end_time=10.0, spans=[(0, "compute", 0.0, 10.0)])
+    assert all(v == 0.0 for _, v in busy_fraction_series(tl, 1, n_buckets=4))
+
+
+def test_busy_fraction_rejects_bad_bucket_count():
+    tl = _timeline(end_time=10.0, spans=[(0, "compute", 0.0, 1.0)])
+    with pytest.raises(ValueError, match="n_buckets"):
+        busy_fraction_series(tl, 0, n_buckets=0)
+
+
+def test_utilization_empty_timeline():
+    tl = _timeline(n_procs=2, end_time=10.0)
+    pts = utilization_series(tl, n_buckets=8)["utilization"]
+    assert len(pts) == 8
+    assert all(v == 0.0 for _, v in pts)
+
+
+def test_utilization_zero_duration_run():
+    tl = _timeline(n_procs=2, end_time=0.0)
+    assert utilization_series(tl)["utilization"] == []
+
+
+def test_utilization_no_processors():
+    tl = _timeline(n_procs=0, end_time=5.0)
+    assert utilization_series(tl)["utilization"] == []
+
+
+def test_utilization_single_span_averages_over_fleet():
+    # One of two processors fully busy -> mean utilization 0.5 everywhere.
+    tl = _timeline(n_procs=2, end_time=10.0, spans=[(0, "compute", 0.0, 10.0)])
+    pts = utilization_series(tl, n_buckets=4)["utilization"]
+    assert [round(v, 6) for _, v in pts] == [0.5, 0.5, 0.5, 0.5]

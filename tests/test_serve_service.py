@@ -335,7 +335,8 @@ def test_stats_shape(service):
     stats = service.stats()
     assert stats["uptime_s"] >= 0
     assert set(stats["jobs"]) == {
-        "queued", "running", "done", "failed", "cancelled", "queue_depth_limit",
+        "queued", "running", "done", "failed", "cancelled",
+        "queue_depth_limit", "run_seconds",
     }
     service.count_request("predict")
     assert service.stats()["requests"]["predict"] == 1
