@@ -15,6 +15,7 @@ Run:  extrap serve --port 8787 --trace-root traces/ &
 import argparse
 import http.client
 import json
+import random
 import re
 import sys
 import time
@@ -24,10 +25,26 @@ SAMPLE_RE = re.compile(
     r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? ([0-9eE.+-]+|NaN|[+-]Inf)$"
 )
 
+#: statuses worth retrying: rate limited (429) and load shed (503)
+RETRYABLE = (429, 503)
+
+BACKOFF_BASE_S = 0.5
+BACKOFF_CAP_S = 30.0
+MAX_RETRIES = 5
+
 
 class Client:
-    def __init__(self, host, port):
+    """Tiny stdlib HTTP client with Retry-After-aware backoff.
+
+    ``rng`` and ``sleep`` are injectable so tests can drive the backoff
+    deterministically; a seeded ``random.Random`` makes the jitter
+    sequence reproducible (``--backoff-seed``).
+    """
+
+    def __init__(self, host, port, rng=None, sleep=time.sleep):
         self.host, self.port = host, port
+        self.rng = rng if rng is not None else random.Random()
+        self.sleep = sleep
 
     def request(self, method, path, body=None):
         conn = http.client.HTTPConnection(self.host, self.port, timeout=120)
@@ -36,9 +53,41 @@ class Client:
                 method, path, body=None if body is None else json.dumps(body)
             )
             resp = conn.getresponse()
-            return resp.status, json.loads(resp.read())
+            return resp.status, json.loads(resp.read()), dict(resp.getheaders())
         finally:
             conn.close()
+
+    def backoff_delay(self, attempt, retry_after):
+        """Seconds to wait before retry ``attempt`` (0-based).
+
+        The server's ``Retry-After`` is the floor — retrying sooner is
+        guaranteed futile — plus capped exponential jitter so a herd of
+        clients told "retry in 2s" does not stampede back in lockstep.
+        """
+        jitter_cap = min(BACKOFF_CAP_S, BACKOFF_BASE_S * (2 ** attempt))
+        return retry_after + self.rng.uniform(0.0, jitter_cap)
+
+    def request_retry(self, method, path, body=None, max_retries=MAX_RETRIES):
+        """Like :meth:`request`, but waits out 429/503 responses.
+
+        Honors the ``Retry-After`` header (falling back to the JSON
+        error body's ``retry_after``), retries at most ``max_retries``
+        times, and returns the final response either way.
+        """
+        for attempt in range(max_retries + 1):
+            status, data, headers = self.request(method, path, body)
+            if status not in RETRYABLE or attempt == max_retries:
+                return status, data, headers
+            retry_after = headers.get(
+                "Retry-After", data.get("error", {}).get("retry_after", 1)
+            )
+            delay = self.backoff_delay(attempt, float(retry_after))
+            print(
+                f"got {status}, retry {attempt + 1}/{max_retries} "
+                f"in {delay:.2f}s"
+            )
+            self.sleep(delay)
+        raise AssertionError("unreachable")  # pragma: no cover
 
     def request_text(self, method, path):
         conn = http.client.HTTPConnection(self.host, self.port, timeout=120)
@@ -57,7 +106,7 @@ class Client:
         deadline = time.monotonic() + timeout
         while time.monotonic() < deadline:
             try:
-                status, data = self.request("GET", "/v1/healthz")
+                status, data, _ = self.request("GET", "/v1/healthz")
                 if status == 200 and data.get("status") == "ok":
                     return data
             except OSError:
@@ -82,8 +131,14 @@ def main(argv=None):
         help="trace path relative to the server's --trace-root",
     )
     ap.add_argument("--preset", default="cm5")
+    ap.add_argument(
+        "--backoff-seed",
+        type=int,
+        default=None,
+        help="seed the retry jitter RNG for reproducible backoff",
+    )
     args = ap.parse_args(argv)
-    client = Client(args.host, args.port)
+    client = Client(args.host, args.port, rng=random.Random(args.backoff_seed))
 
     health = client.wait_healthy()
     print(f"server healthy (version {health['version']})")
@@ -91,9 +146,9 @@ def main(argv=None):
     # Predict twice: the second answer must come from the cache, and
     # must be identical to the first.
     body = {"trace_path": args.trace, "preset": args.preset}
-    status, first = client.request("POST", "/v1/predict", body)
+    status, first, _ = client.request_retry("POST", "/v1/predict", body)
     check(status == 200, f"predict returns 200 (got {status}: {first})")
-    status, second = client.request("POST", "/v1/predict", body)
+    status, second, _ = client.request_retry("POST", "/v1/predict", body)
     check(status == 200, "repeat predict returns 200")
     check(second["cached"], "repeat predict is served from the cache")
     check(
@@ -107,7 +162,7 @@ def main(argv=None):
     )
 
     # Diagnosed predict: the response carries the anomaly report.
-    status, diagnosed = client.request(
+    status, diagnosed, _ = client.request_retry(
         "POST", "/v1/predict", {**body, "diagnose": True}
     )
     check(status == 200, "diagnosed predict returns 200")
@@ -121,7 +176,7 @@ def main(argv=None):
     )
 
     # Malformed input: one-line JSON error, with a spelling hint.
-    status, err = client.request("POST", "/v1/predict", {"trase_path": "x"})
+    status, err, _ = client.request("POST", "/v1/predict", {"trase_path": "x"})
     check(status == 400, "unknown field is a 400")
     check("did you mean" in err["error"]["message"], "error suggests a fix")
 
@@ -131,24 +186,24 @@ def main(argv=None):
         "preset": args.preset,
         "grid": {"network.comm_startup_time": [50.0, 100.0, 200.0]},
     }
-    status, job = client.request(
+    status, job, _ = client.request_retry(
         "POST", "/v1/sweeps", {"spec": spec, "trace_path": args.trace}
     )
     check(status == 202, f"sweep submit returns 202 (got {status}: {job})")
     job_id = job["job"]
     deadline = time.monotonic() + 300
     while time.monotonic() < deadline:
-        status, state = client.request("GET", f"/v1/jobs/{job_id}")
+        status, state, _ = client.request("GET", f"/v1/jobs/{job_id}")
         if state["status"] in ("done", "failed"):
             break
         time.sleep(0.2)
     check(state["status"] == "done", f"sweep job finishes (got {state})")
-    status, result = client.request("GET", f"/v1/jobs/{job_id}/result")
+    status, result, _ = client.request("GET", f"/v1/jobs/{job_id}/result")
     check(status == 200, "finished job's result is fetchable")
     points = result["result"]["points"]
     check(len(points) == 3, "sweep artifact has every point")
 
-    status, stats = client.request("GET", "/v1/stats")
+    status, stats, _ = client.request("GET", "/v1/stats")
     cache = stats["cache"]
     print(
         f"stats: {stats['requests_total']} requests, "

@@ -600,6 +600,18 @@ def cmd_serve(args) -> int:
         return _input_error(
             f"--max-wall-budget must be > 0, got {args.max_wall_budget}"
         )
+    if args.rate_limit is not None and args.rate_limit <= 0:
+        return _input_error(f"--rate-limit must be > 0, got {args.rate_limit}")
+    if args.rate_burst is not None and args.rate_burst < 1:
+        return _input_error(f"--rate-burst must be >= 1, got {args.rate_burst}")
+    if args.rate_burst is not None and args.rate_limit is None:
+        return _input_error("--rate-burst requires --rate-limit")
+    if args.job_budget is not None and args.job_budget <= 0:
+        return _input_error(f"--job-budget must be > 0, got {args.job_budget}")
+    if args.drain_timeout is not None and args.drain_timeout <= 0:
+        return _input_error(
+            f"--drain-timeout must be > 0, got {args.drain_timeout}"
+        )
     root = Path(args.trace_root)
     if not root.is_dir():
         return _input_error(f"trace root is not a directory: {args.trace_root}")
@@ -613,6 +625,11 @@ def cmd_serve(args) -> int:
         workers=args.workers,
         sweep_jobs=args.jobs,
         max_wall_budget=args.max_wall_budget,
+        state_dir=args.state_dir,
+        rate_limit=args.rate_limit,
+        rate_burst=args.rate_burst,
+        job_budget=args.job_budget,
+        drain_timeout=args.drain_timeout,
     )
 
 
@@ -956,7 +973,46 @@ def build_parser() -> argparse.ArgumentParser:
         "--queue-depth",
         type=int,
         default=16,
-        help="max queued sweep jobs before submissions get 429",
+        help="max queued sweep jobs before submissions are shed with 503",
+    )
+    sv.add_argument(
+        "--state-dir",
+        default=None,
+        metavar="DIR",
+        help="crash-safe job journal directory: accepted jobs survive "
+        "kill -9 and are recovered on the next start (off by default)",
+    )
+    sv.add_argument(
+        "--rate-limit",
+        type=float,
+        default=None,
+        metavar="REQ_PER_S",
+        help="per-client token-bucket rate limit; over-budget requests "
+        "get 429 with a Retry-After header (off by default)",
+    )
+    sv.add_argument(
+        "--rate-burst",
+        type=int,
+        default=None,
+        metavar="N",
+        help="token-bucket burst size (default: ceil of --rate-limit)",
+    )
+    sv.add_argument(
+        "--job-budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-job wall budget: a job running longer is failed with "
+        "a stall diagnosis instead of wedging a worker forever",
+    )
+    sv.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="bound on the SIGTERM drain; past it, unfinished jobs are "
+        "journaled as interrupted and the process still exits 0 "
+        "(default 30)",
     )
     sv.add_argument(
         "--workers",

@@ -8,7 +8,9 @@ queue state.  See :mod:`repro.serve.service` for the endpoint logic and
 
 from repro.serve.http import ExtrapServer, run_server, start_server
 from repro.serve.jobs import JobQueue, QueueClosedError, QueueFullError
+from repro.serve.journal import JobJournal, JournalReplay, request_digest
 from repro.serve.metrics import METRICS_CONTENT_TYPE, render_metrics
+from repro.serve.ratelimit import RateLimiter, retry_after_header
 from repro.serve.schema import ApiError
 from repro.serve.service import ExtrapService
 
@@ -16,11 +18,16 @@ __all__ = [
     "ApiError",
     "ExtrapServer",
     "ExtrapService",
+    "JobJournal",
     "JobQueue",
+    "JournalReplay",
     "METRICS_CONTENT_TYPE",
     "QueueClosedError",
     "QueueFullError",
+    "RateLimiter",
     "render_metrics",
+    "request_digest",
+    "retry_after_header",
     "run_server",
     "start_server",
 ]

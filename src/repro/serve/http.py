@@ -23,14 +23,23 @@ traceback never crosses the wire (unexpected exceptions become a 500
 with the exception's one-line summary; the full traceback goes to the
 server log).
 
+Admission control: with ``--rate-limit``, every request (except
+liveness probes and metric scrapes, :data:`RATE_LIMIT_EXEMPT`) first
+spends a token from the caller's per-address bucket; an empty bucket is
+an immediate 429 with a ``Retry-After`` header, checked *before* any
+routing or body parsing so a hot client cannot burn server work.  A
+full job queue is a different failure — the server (not the client) is
+saturated — and sheds with 503 + ``Retry-After`` instead.
+
 Shutdown: :func:`run_server` runs ``serve_forever`` on a worker thread
 and parks the main thread on an event that SIGTERM/SIGINT set.  Calling
 ``HTTPServer.shutdown()`` from inside a signal handler on the serving
 thread would deadlock (it joins the serve loop it interrupted), which
 is why the signal handler only sets the event.  On wake the listener is
-closed first (no new connections), then the job queue drains — a job
-the server acknowledged is finished, not dropped — then the process
-exits 0.
+closed first (no new connections), then the job queue drains — bounded
+by ``--drain-timeout``; jobs still unfinished at the deadline are
+journaled ``interrupted`` for restart recovery — then the process
+exits 0 either way, so a supervisor restart is always safe.
 """
 
 from __future__ import annotations
@@ -45,6 +54,7 @@ from pathlib import Path
 from typing import Any, Dict, Optional, Tuple
 
 from repro.serve.metrics import METRICS_CONTENT_TYPE, render_metrics
+from repro.serve.ratelimit import retry_after_header
 from repro.serve.schema import ApiError
 from repro.serve.service import ExtrapService
 from repro.sweep.cache import ResultCache
@@ -56,6 +66,16 @@ access_log = get_logger("serve.access")
 #: largest accepted request body, bytes (an inline trace at the event
 #: cap is far below this; anything bigger is abuse or a mistake)
 MAX_BODY_BYTES = 64 * 1024 * 1024
+
+#: endpoints the per-client rate limiter never touches: liveness probes
+#: and metric scrapes must keep working while a client is throttled,
+#: or the operator goes blind exactly when admission control engages
+RATE_LIMIT_EXEMPT = ("/v1/healthz", "/v1/metrics")
+
+#: default bound on the SIGTERM drain, seconds — a stalled job must
+#: not hang shutdown forever; past this, unfinished jobs are journaled
+#: ``interrupted`` and the process exits 0 for the supervisor to restart
+DEFAULT_DRAIN_TIMEOUT_S = 30.0
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -70,11 +90,19 @@ class _Handler(BaseHTTPRequestHandler):
     def service(self) -> ExtrapService:
         return self.server.service
 
-    def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+    def _send_json(
+        self,
+        status: int,
+        payload: Dict[str, Any],
+        *,
+        retry_after: Optional[int] = None,
+    ) -> None:
         body = (json.dumps(payload) + "\n").encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if retry_after is not None:
+            self.send_header("Retry-After", str(retry_after))
         self.end_headers()
         self.wfile.write(body)
 
@@ -86,10 +114,15 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
-    def _send_error_json(self, status: int, message: str) -> None:
-        self._send_json(
-            status, {"error": {"status": status, "message": message}}
-        )
+    def _send_error_json(
+        self, status: int, message: str, *, retry_after: Optional[int] = None
+    ) -> None:
+        error: Dict[str, Any] = {"status": status, "message": message}
+        if retry_after is not None:
+            # Mirrored into the body so clients that cannot see headers
+            # (and tests asserting exact bytes) get the same number.
+            error["retry_after"] = retry_after
+        self._send_json(status, {"error": error}, retry_after=retry_after)
 
     def _read_body(self) -> Any:
         length_header = self.headers.get("Content-Length")
@@ -119,6 +152,7 @@ class _Handler(BaseHTTPRequestHandler):
         """
         path = self.path.split("?", 1)[0].rstrip("/") or "/"
         service = self.service
+        self._admit(path)
         if method == "GET":
             if path == "/v1/healthz":
                 return "healthz", service.healthz()
@@ -142,6 +176,29 @@ class _Handler(BaseHTTPRequestHandler):
             raise ApiError(404, f"no such endpoint: POST {path}")
         raise ApiError(405, f"method {method} not supported")
 
+    def _admit(self, path: str) -> None:
+        """Per-client token-bucket admission (429 before any work).
+
+        Rate limiting outranks every other failure mode — a client over
+        its budget gets 429 even when the queue is also full (which
+        would otherwise shed with 503): the 429 names the party that
+        must slow down.
+        """
+        limiter = self.service.limiter
+        if limiter is None or path in RATE_LIMIT_EXEMPT:
+            return
+        allowed, retry_after_s = limiter.allow(self.client_address[0])
+        if allowed:
+            return
+        self.service.count_rate_limited()
+        retry_after = retry_after_header(retry_after_s)
+        raise ApiError(
+            429,
+            f"rate limit exceeded ({limiter.rate:g} req/s, burst "
+            f"{limiter.burst}); retry in {retry_after}s",
+            retry_after=retry_after,
+        )
+
     def _handle(self, method: str) -> None:
         t0 = time.monotonic()
         status = 500
@@ -156,7 +213,9 @@ class _Handler(BaseHTTPRequestHandler):
         except ApiError as exc:
             status = exc.status
             self.service.count_request("error")
-            self._send_error_json(exc.status, exc.message)
+            self._send_error_json(
+                exc.status, exc.message, retry_after=exc.retry_after
+            )
         except (BrokenPipeError, ConnectionResetError):
             status = 0  # client went away mid-response; nothing to send
         except Exception as exc:  # noqa: BLE001 — wire boundary
@@ -250,21 +309,44 @@ def run_server(
     workers: int = 1,
     sweep_jobs: int = 1,
     max_wall_budget: Optional[float] = None,
+    state_dir: "str | Path | None" = None,
+    rate_limit: Optional[float] = None,
+    rate_burst: Optional[int] = None,
+    job_budget: Optional[float] = None,
+    drain_timeout: Optional[float] = DEFAULT_DRAIN_TIMEOUT_S,
 ) -> int:
     """Serve until SIGTERM/SIGINT; drain the job queue; return 0.
 
     The CLI entry point behind ``extrap serve``.  Prints the bound URL
     on stdout once listening (machine-parsable: the last token is the
-    URL, resolving ``port=0`` to the real port).
+    URL, resolving ``port=0`` to the real port).  With ``state_dir``,
+    unfinished jobs are journaled and recovered on the next start —
+    including jobs a bounded drain (``drain_timeout``) had to abandon,
+    which is why a drain timeout still exits 0.
     """
-    service = ExtrapService(
-        trace_root=trace_root,
-        cache=cache,
-        queue_depth=queue_depth,
-        workers=workers,
-        sweep_jobs=sweep_jobs,
-        max_wall_budget=max_wall_budget,
-    )
+    try:
+        service = ExtrapService(
+            trace_root=trace_root,
+            cache=cache,
+            queue_depth=queue_depth,
+            workers=workers,
+            sweep_jobs=sweep_jobs,
+            max_wall_budget=max_wall_budget,
+            state_dir=state_dir,
+            rate_limit=rate_limit,
+            rate_burst=rate_burst,
+            job_budget=job_budget,
+            drain_timeout=drain_timeout,
+        )
+    except OSError as exc:
+        print(f"extrap: error: cannot use state dir {state_dir}: {exc}", flush=True)
+        return 1
+    if service.recovered_total:
+        print(
+            f"recovered {service.recovered_total} unfinished job(s) "
+            f"from {service.journal.path}",
+            flush=True,
+        )
     try:
         server, thread = start_server(service, host=host, port=port)
     except OSError as exc:
@@ -300,6 +382,12 @@ def run_server(
     log.info("%s received; draining job queue", received["signal"] or "stop")
     server.shutdown()  # safe here: we are not on the serve_forever thread
     thread.join()
-    server.close(drain=True)
+    server.server_close()  # listener down first: no new connections
+    drained = service.close(drain=True)
+    if not drained:
+        log.warning(
+            "drain timed out; interrupted jobs were journaled and will "
+            "be recovered on restart"
+        )
     log.info("shutdown complete")
     return 0

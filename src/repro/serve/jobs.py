@@ -1,19 +1,29 @@
-"""Bounded FIFO job queue with draining shutdown.
+"""Bounded FIFO job queue with draining shutdown and a stall watchdog.
 
 The async half of the serve API: ``POST /v1/sweeps`` enqueues work here
 and polls it back through ``GET /v1/jobs/<id>``.  Design constraints:
 
 * **bounded** — the queue has a hard depth limit; an overflowing submit
-  raises :class:`QueueFullError` immediately (the API maps it to 429)
-  instead of accepting unbounded work;
+  raises :class:`QueueFullError` immediately (the API sheds it as 503 +
+  ``Retry-After``) instead of accepting unbounded work;
 * **FIFO** — jobs run in submission order across a small pool of worker
   threads (the heavy lifting inside a job is process-parallel via
   :class:`repro.sweep.executor.ParallelExecutor`; threads are only the
   dispatch layer);
 * **draining** — :meth:`JobQueue.close` stops new submissions and lets
   the workers finish every job already accepted, which is what makes
-  SIGTERM safe: a job the server said "queued" to is never silently
-  dropped on a graceful shutdown.
+  SIGTERM safe.  The drain is *bounded*: past ``timeout`` seconds,
+  still-unfinished jobs are marked ``interrupted`` — a recoverable,
+  journaled state — so one wedged job cannot hang shutdown forever;
+* **observable** — every status transition invokes the optional
+  ``observer`` callback *while the queue lock is held*, which is how
+  the serve journal records transitions in exactly the order they
+  happen (the observer must not call back into the queue);
+* **watched** — with a ``job_budget``, a watchdog thread marks any job
+  running past its wall budget ``failed`` with a one-line
+  stall diagnosis (mirroring ``SimulationStalled``) and spawns a
+  replacement worker, so a wedged job degrades capacity once instead of
+  consuming a worker forever.
 
 Failures are recorded as ``(error type, one-line message)`` on the job,
 mirroring the sweep executor's convention — a crashing job is a result,
@@ -22,8 +32,8 @@ not a dead worker thread.
 
 from __future__ import annotations
 
-import itertools
 import queue
+import re
 import threading
 import time
 from dataclasses import dataclass, field
@@ -33,12 +43,19 @@ from repro.util.log import get_logger
 
 log = get_logger("serve.jobs")
 
-#: job lifecycle states
-STATUSES = ("queued", "running", "done", "failed", "cancelled")
+#: job lifecycle states; ``interrupted`` (bounded drain gave up at
+#: shutdown) is the one non-terminal "finished" state — a restart with
+#: a job journal re-enqueues it
+STATUSES = ("queued", "running", "done", "failed", "cancelled", "interrupted")
+
+#: states a job never leaves
+TERMINAL_STATUSES = ("done", "failed", "cancelled")
+
+_JOB_ID_RE = re.compile(r"j(\d+)\Z")
 
 
 class QueueFullError(Exception):
-    """The job queue is at its depth limit (API: 429)."""
+    """The job queue is at its depth limit (API: shed with 503)."""
 
 
 class QueueClosedError(Exception):
@@ -60,6 +77,20 @@ class Job:
     error: str = ""
     result: Optional[Any] = None
     fn: Optional[Callable[[], Any]] = None
+    #: original request body (journaled so the job survives a crash);
+    #: ``None`` for jobs that cannot be rebuilt and are not journaled
+    payload: Optional[Dict[str, Any]] = None
+    #: canonical request digest (idempotency key next to the id)
+    digest: str = ""
+    #: this job was rebuilt from the journal after a restart
+    recovered: bool = False
+    #: the stall watchdog abandoned this job's worker thread
+    timed_out: bool = False
+
+    @property
+    def durable(self) -> bool:
+        """Whether the journal can rebuild this job after a crash."""
+        return self.payload is not None
 
     def status_dict(self) -> Dict[str, Any]:
         """The public ``GET /v1/jobs/<id>`` payload (no result body)."""
@@ -70,6 +101,8 @@ class Job:
         }
         if self.label:
             out["label"] = self.label
+        if self.recovered:
+            out["recovered"] = True
         if self.started_s is not None:
             end = self.finished_s if self.finished_s is not None else time.monotonic()
             out["run_s"] = round(end - self.started_s, 6)
@@ -85,17 +118,34 @@ _STOP = object()
 class JobQueue:
     """FIFO job execution with a bounded backlog and worker threads."""
 
-    def __init__(self, *, depth: int = 16, workers: int = 1):
+    def __init__(
+        self,
+        *,
+        depth: int = 16,
+        workers: int = 1,
+        observer: Optional[Callable[[Job], None]] = None,
+        job_budget: Optional[float] = None,
+    ):
         if depth < 1:
             raise ValueError(f"queue depth must be >= 1, got {depth}")
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if job_budget is not None and job_budget <= 0:
+            raise ValueError(f"job budget must be > 0 seconds, got {job_budget}")
         self.depth = depth
-        self._q: "queue.Queue[Any]" = queue.Queue(maxsize=depth + workers)
+        self.workers = workers
+        self.job_budget = job_budget
+        # Depth is enforced by submit()'s backlog check, not by the
+        # queue's own bound — recovery may legitimately re-enqueue
+        # depth + workers jobs (everything queued plus everything that
+        # was running at the crash).
+        self._q: "queue.Queue[Any]" = queue.Queue()
         self._jobs: Dict[str, Job] = {}
         self._lock = threading.Lock()
-        self._ids = itertools.count(1)
+        self._next_id = 1
         self._open = True
+        self._observer = observer
+        self._replacements = 0
         self._threads: List[threading.Thread] = [
             threading.Thread(
                 target=self._worker, name=f"serve-job-worker-{i}", daemon=True
@@ -104,32 +154,94 @@ class JobQueue:
         ]
         for t in self._threads:
             t.start()
+        self._watchdog_stop = threading.Event()
+        self._watchdog_thread: Optional[threading.Thread] = None
+        if job_budget is not None:
+            self._watchdog_thread = threading.Thread(
+                target=self._watchdog, name="serve-job-watchdog", daemon=True
+            )
+            self._watchdog_thread.start()
+
+    def _notify(self, job: Job) -> None:
+        """Invoke the observer (lock held); observer faults never
+        poison the queue's own state machine."""
+        if self._observer is None:
+            return
+        try:
+            self._observer(job)
+        except Exception:  # noqa: BLE001 — the journal must not kill jobs
+            log.exception("job observer failed for %s (%s)", job.id, job.status)
 
     # -- submission / lookup -------------------------------------------------
 
-    def submit(self, kind: str, fn: Callable[[], Any], *, label: str = "") -> Job:
+    def submit(
+        self,
+        kind: str,
+        fn: Callable[[], Any],
+        *,
+        label: str = "",
+        job_id: Optional[str] = None,
+        payload: Optional[Dict[str, Any]] = None,
+        digest: str = "",
+        recovered: bool = False,
+        force: bool = False,
+    ) -> Job:
         """Enqueue ``fn``; returns the queued :class:`Job`.
 
         Raises :class:`QueueFullError` when ``depth`` jobs are already
         waiting and :class:`QueueClosedError` once :meth:`close` began.
+        ``job_id`` pins an explicit id (journal recovery keeps crashed
+        jobs pollable under their original id); the id counter advances
+        past it so new submissions never collide.  ``force`` bypasses
+        the depth check — recovery must re-admit every journaled job
+        even if a smaller queue was configured since.
         """
         with self._lock:
             if not self._open:
                 raise QueueClosedError("server is shutting down")
-            if self.backlog() >= self.depth:
+            if not force and self.backlog() >= self.depth:
                 raise QueueFullError(
                     f"job queue full ({self.depth} queued); retry later"
                 )
+            if job_id is None:
+                job_id = f"j{self._next_id:06d}"
+                self._next_id += 1
+            else:
+                if job_id in self._jobs:
+                    raise ValueError(f"duplicate job id {job_id!r}")
+                m = _JOB_ID_RE.fullmatch(job_id)
+                if m:
+                    self._next_id = max(self._next_id, int(m.group(1)) + 1)
             job = Job(
-                id=f"j{next(self._ids):06d}",
+                id=job_id,
                 kind=kind,
                 label=label,
                 submitted_s=time.monotonic(),
                 fn=fn,
+                payload=payload,
+                digest=digest,
+                recovered=recovered,
             )
             self._jobs[job.id] = job
+            # The submit record is the one strict journal write: a job
+            # that cannot be made durable must not be accepted (the 202
+            # would be a promise a crash breaks).  Disk-full surfaces
+            # here as the submit failing, not as a silent drop later.
+            if self._observer is not None:
+                try:
+                    self._observer(job)
+                except Exception:
+                    del self._jobs[job.id]
+                    log.exception("job %s rejected: observer failed", job_id)
+                    raise
             self._q.put_nowait(job)
-        log.info("job %s queued (%s %s)", job.id, kind, label or "-")
+        log.info(
+            "job %s queued (%s %s)%s",
+            job.id,
+            kind,
+            label or "-",
+            " [recovered]" if recovered else "",
+        )
         return job
 
     def get(self, job_id: str) -> Optional[Job]:
@@ -176,51 +288,143 @@ class JobQueue:
                 return
             job: Job = item
             with self._lock:
-                if job.status == "cancelled":
+                if job.status != "queued":  # cancelled/interrupted at shutdown
                     continue
                 job.status = "running"
                 job.started_s = time.monotonic()
+                self._notify(job)
             log.info("job %s running", job.id)
             try:
                 result = job.fn() if job.fn is not None else None
             except Exception as exc:
                 with self._lock:
-                    job.status = "failed"
-                    job.error_type = type(exc).__name__
-                    job.error = str(exc)
-                    job.finished_s = time.monotonic()
+                    # The watchdog (or a timed-out drain) may have moved
+                    # the job out of "running" already; its verdict wins.
+                    if job.status == "running":
+                        job.status = "failed"
+                        job.error_type = type(exc).__name__
+                        job.error = str(exc)
+                        job.finished_s = time.monotonic()
+                        self._notify(job)
+                    abandoned = job.timed_out
                 log.warning(
-                    "job %s FAILED (%s: %s)", job.id, job.error_type, job.error
+                    "job %s FAILED (%s: %s)", job.id, type(exc).__name__, exc
                 )
             else:
                 with self._lock:
-                    job.result = result
-                    job.status = "done"
-                    job.finished_s = time.monotonic()
-                log.info(
-                    "job %s done in %.2fs", job.id, job.finished_s - job.started_s
-                )
+                    if job.status == "running":
+                        job.result = result
+                        job.status = "done"
+                        job.finished_s = time.monotonic()
+                        self._notify(job)
+                        log.info(
+                            "job %s done in %.2fs",
+                            job.id,
+                            job.finished_s - job.started_s,
+                        )
+                    else:
+                        # Stalled-then-finished: the result is dropped —
+                        # the job already failed publicly.
+                        log.warning(
+                            "job %s finished after the watchdog abandoned "
+                            "it; result dropped",
+                            job.id,
+                        )
+                    abandoned = job.timed_out
             finally:
                 job.fn = None  # drop closure references (trace data) early
+            if abandoned:
+                # A replacement worker already took this thread's place.
+                log.info("abandoned worker for job %s retiring", job.id)
+                return
+
+    # -- stall watchdog ------------------------------------------------------
+
+    def _spawn_replacement_locked(self) -> None:
+        """Restore worker capacity after abandoning a wedged thread.
+
+        Replacements are capped at one per original worker: a service
+        wedging more than ``2 * workers`` threads has a systemic
+        problem that more threads would hide, not fix.
+        """
+        if self._replacements >= self.workers:
+            log.error(
+                "job watchdog: replacement-worker cap (%d) reached; "
+                "queue capacity stays degraded",
+                self.workers,
+            )
+            return
+        self._replacements += 1
+        t = threading.Thread(
+            target=self._worker,
+            name=f"serve-job-worker-r{self._replacements}",
+            daemon=True,
+        )
+        self._threads.append(t)
+        t.start()
+
+    def _watchdog(self) -> None:
+        assert self.job_budget is not None
+        interval = min(1.0, max(0.02, self.job_budget / 4))
+        while not self._watchdog_stop.wait(interval):
+            now = time.monotonic()
+            stalled: List[str] = []
+            with self._lock:
+                for job in self._jobs.values():
+                    if (
+                        job.status != "running"
+                        or job.timed_out
+                        or job.started_s is None
+                        or now - job.started_s <= self.job_budget
+                    ):
+                        continue
+                    job.timed_out = True
+                    job.status = "failed"
+                    job.error_type = "JobStalled"
+                    job.error = (
+                        f"job stalled after {now - job.started_s:.1f}s: "
+                        f"exceeded the {self.job_budget:g}s job wall "
+                        "budget; the worker thread was abandoned and "
+                        "replaced"
+                    )
+                    job.finished_s = now
+                    self._notify(job)
+                    self._spawn_replacement_locked()
+                    stalled.append(job.id)
+            for job_id in stalled:
+                log.warning(
+                    "job %s stalled past the %.3gs budget; marked failed",
+                    job_id,
+                    self.job_budget,
+                )
 
     # -- shutdown ------------------------------------------------------------
 
-    def close(self, *, drain: bool = True, timeout: Optional[float] = None) -> None:
+    def close(self, *, drain: bool = True, timeout: Optional[float] = None) -> bool:
         """Stop accepting jobs and shut the workers down.
 
         ``drain=True`` (the graceful path) lets workers finish every
         accepted job before their stop sentinel, FIFO order guaranteeing
         sentinels sort last.  ``drain=False`` marks still-queued jobs
         ``cancelled`` and only waits out the jobs already running.
+
+        Returns ``True`` when every job reached a terminal state.  When
+        ``timeout`` expires first, jobs still queued or running are
+        marked ``interrupted`` (journaled as such through the observer)
+        and ``False`` is returned — the caller exits anyway and a
+        restart recovers them.
         """
         with self._lock:
             if not self._open:
-                return
+                return True
             self._open = False
             if not drain:
                 for job in self._jobs.values():
                     if job.status == "queued":
                         job.status = "cancelled"
+                        job.finished_s = time.monotonic()
+                        self._notify(job)
+        self._watchdog_stop.set()
         for _ in self._threads:
             self._q.put(_STOP)
         deadline = None if timeout is None else time.monotonic() + timeout
@@ -228,3 +432,19 @@ class JobQueue:
             t.join(
                 None if deadline is None else max(0.0, deadline - time.monotonic())
             )
+        interrupted: List[str] = []
+        with self._lock:
+            for job in self._jobs.values():
+                if job.status in ("queued", "running"):
+                    job.status = "interrupted"
+                    job.finished_s = time.monotonic()
+                    self._notify(job)
+                    interrupted.append(job.id)
+        if interrupted:
+            log.warning(
+                "drain timed out after %.3gs; %d job(s) interrupted: %s",
+                timeout if timeout is not None else float("nan"),
+                len(interrupted),
+                ", ".join(interrupted),
+            )
+        return not interrupted

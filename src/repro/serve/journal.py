@@ -1,0 +1,264 @@
+"""Crash-safe job journal: the durable half of the serve job queue.
+
+The in-memory :class:`~repro.serve.jobs.JobQueue` survives a *graceful*
+shutdown by draining, but a crash (``kill -9``, OOM, power loss) loses
+every job the server already answered 202 for.  ``--state-dir`` fixes
+that with the oldest trick in the book: an **append-only journal** of
+job lifecycle transitions, fsync'd per record, replayed on startup.
+
+Design rules, in order of importance:
+
+* **A 202 is a promise.**  The ``submit`` record — carrying the full
+  request body, so the job can be rebuilt from nothing — is written and
+  fsync'd *before* the client hears 202.  A job that is journaled but
+  unfinished at crash time is re-enqueued on the next start; its points
+  are memoized through the shared :class:`~repro.sweep.cache.ResultCache`,
+  so recovery re-runs only what the crash actually interrupted.
+* **The journal must never be the thing that breaks.**  A torn final
+  line (the normal artifact of dying mid-``write``) is silently dropped;
+  any other unreadable or foreign-schema line is *quarantined* — copied
+  to ``jobs.quarantine.jsonl`` and skipped — mirroring how
+  ``ResultCache`` evicts corrupt cache entries instead of crashing.
+* **Idempotent replay.**  Jobs are keyed by id + request digest; a
+  duplicate ``submit`` for an id already seen is ignored (first wins),
+  and transitions for ids never submitted are counted as orphans, not
+  errors.  Replaying the same journal twice builds the same queue.
+* **Bounded growth.**  Startup compacts the journal down to the submit
+  records of still-pending jobs (atomically, via
+  :func:`~repro.util.atomic.atomic_write_text`), so terminal jobs from
+  past lives do not accumulate forever.
+
+Record grammar (one JSON object per line, sorted keys)::
+
+    {"schema": 1, "op": "submit", "job": "j000001", "kind": "sweep",
+     "label": "...", "request": {...}, "digest": "<sha256>"}
+    {"schema": 1, "op": "start",  "job": "j000001"}
+    {"schema": 1, "op": "done",   "job": "j000001"}
+    {"schema": 1, "op": "failed", "job": "j000001", "error_type": "...",
+     "error": "..."}
+    {"schema": 1, "op": "cancelled" | "interrupted", "job": "j000001"}
+
+``done``/``failed``/``cancelled`` are terminal.  ``interrupted`` (a
+bounded drain gave up on the job at shutdown) is *not* — an interrupted
+job is exactly the kind a supervisor restart must recover.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, IO, List, Mapping, Optional, Sequence
+
+from repro.util.atomic import atomic_write_text
+from repro.util.log import get_logger
+
+log = get_logger("serve.journal")
+
+#: Bump when the record grammar changes shape; foreign-schema records
+#: are quarantined on replay, never guessed at.
+JOURNAL_SCHEMA = 1
+
+#: Every op the replayer understands.
+JOURNAL_OPS = ("submit", "start", "done", "failed", "cancelled", "interrupted")
+
+#: Ops after which a job needs no recovery.
+_TERMINAL_OPS = ("done", "failed", "cancelled")
+
+
+def request_digest(body: Mapping[str, Any]) -> str:
+    """Canonical sha256 of a request body (the idempotency half of a
+    job's identity; the id is the other half)."""
+    blob = json.dumps(dict(body), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class JournalReplay:
+    """What one :meth:`JobJournal.replay` pass found."""
+
+    #: well-formed records read (any op)
+    entries: int = 0
+    #: ``submit`` records of jobs still owed work, in submission order
+    pending: List[Dict[str, Any]] = field(default_factory=list)
+    #: lines quarantined (corrupt JSON, foreign schema, bad shape)
+    corrupt: int = 0
+    #: a torn final line was dropped (normal crash artifact, not corrupt)
+    truncated_tail: bool = False
+    #: repeated ``submit`` records ignored (first submit wins)
+    duplicates: int = 0
+    #: transitions for job ids never submitted
+    orphans: int = 0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "entries": self.entries,
+            "recovered": len(self.pending),
+            "corrupt": self.corrupt,
+            "truncated_tail": self.truncated_tail,
+            "duplicates": self.duplicates,
+            "orphans": self.orphans,
+        }
+
+
+class JobJournal:
+    """Append-only, fsync'd JSONL job journal under one state directory.
+
+    Appends are serialised by an internal lock and each record is
+    flushed *and* fsync'd before :meth:`append` returns — the caller may
+    treat a returned append as durable.  (The fsync is the whole point;
+    an unflushed journal survives exactly the crashes that never
+    happen.)
+    """
+
+    def __init__(self, state_dir: "str | Path"):
+        self.root = Path(state_dir)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.path = self.root / "jobs.jsonl"
+        self.quarantine_path = self.root / "jobs.quarantine.jsonl"
+        self._lock = threading.Lock()
+        self._fh: Optional[IO[str]] = None
+        self._entries = 0
+
+    # -- writing -------------------------------------------------------------
+
+    def _open_locked(self) -> IO[str]:
+        if self._fh is None:
+            self._fh = open(self.path, "a", encoding="utf-8")
+        return self._fh
+
+    def append(self, op: str, job_id: str, **fields: Any) -> None:
+        """Durably append one record (write + flush + fsync)."""
+        if op not in JOURNAL_OPS:
+            raise ValueError(f"unknown journal op {op!r}")
+        record = {"schema": JOURNAL_SCHEMA, "op": op, "job": job_id, **fields}
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        with self._lock:
+            fh = self._open_locked()
+            fh.write(line + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+            self._entries += 1
+
+    def reset(self, keep: Sequence[Mapping[str, Any]] = ()) -> None:
+        """Atomically compact the journal down to ``keep`` records.
+
+        Crash-safe: the new journal is written whole and renamed over
+        the old one, so a crash mid-compaction leaves the previous
+        journal intact and replay simply runs again.
+        """
+        content = "".join(
+            json.dumps(dict(r), sort_keys=True, separators=(",", ":")) + "\n"
+            for r in keep
+        )
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+            atomic_write_text(self.path, content)
+            self._entries = len(keep)
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+
+    # -- observability -------------------------------------------------------
+
+    @property
+    def entries(self) -> int:
+        """Records in the journal since the last replay/compaction."""
+        return self._entries
+
+    def size_bytes(self) -> int:
+        try:
+            return self.path.stat().st_size
+        except OSError:
+            return 0
+
+    # -- replay --------------------------------------------------------------
+
+    def _quarantine(self, line: str, reason: str) -> None:
+        log.warning("quarantining journal line (%s): %.120r", reason, line)
+        try:
+            with open(self.quarantine_path, "a", encoding="utf-8") as fh:
+                fh.write(line + "\n")
+        except OSError as exc:  # quarantine is best-effort forensics
+            log.warning("cannot write quarantine file: %s", exc)
+
+    @staticmethod
+    def _parse(line: str) -> Dict[str, Any]:
+        """One journal line as a validated record dict, or ValueError."""
+        record = json.loads(line)
+        if not isinstance(record, dict):
+            raise ValueError("record is not an object")
+        if record.get("schema") != JOURNAL_SCHEMA:
+            raise ValueError(f"unknown schema version {record.get('schema')!r}")
+        op = record.get("op")
+        if op not in JOURNAL_OPS:
+            raise ValueError(f"unknown op {op!r}")
+        job = record.get("job")
+        if not isinstance(job, str) or not job:
+            raise ValueError("missing job id")
+        if op == "submit" and not isinstance(record.get("request"), dict):
+            raise ValueError("submit record has no request body")
+        return record
+
+    def replay(self) -> JournalReplay:
+        """Read the journal; return pending jobs and forensics counts.
+
+        Never raises on journal *content*: a torn tail is dropped, any
+        other bad line is quarantined and skipped.
+        """
+        out = JournalReplay()
+        try:
+            text = self.path.read_text(encoding="utf-8", errors="replace")
+        except FileNotFoundError:
+            return out
+        except OSError as exc:
+            log.warning("cannot read journal %s: %s", self.path, exc)
+            return out
+        lines = text.split("\n")
+        # A trailing newline leaves one empty string; without it the last
+        # element is a potentially torn record.
+        tail_is_torn_candidate = not text.endswith("\n")
+        if lines and lines[-1] == "":
+            lines.pop()
+        submits: Dict[str, Dict[str, Any]] = {}
+        state: Dict[str, str] = {}
+        for i, line in enumerate(lines):
+            is_tail = tail_is_torn_candidate and i == len(lines) - 1
+            if not line.strip():
+                continue
+            try:
+                record = self._parse(line)
+            except ValueError as exc:
+                if is_tail and isinstance(exc, json.JSONDecodeError):
+                    out.truncated_tail = True
+                    log.info("dropping torn journal tail: %.80r", line)
+                else:
+                    self._quarantine(line, str(exc))
+                    out.corrupt += 1
+                continue
+            out.entries += 1
+            op, job = record["op"], record["job"]
+            if op == "submit":
+                if job in submits:
+                    out.duplicates += 1
+                    continue
+                submits[job] = record
+                state[job] = "queued"
+            elif job not in state:
+                out.orphans += 1
+            else:
+                state[job] = op
+        out.pending = [
+            submits[job]
+            for job in submits
+            if state[job] not in _TERMINAL_OPS
+        ]
+        return out

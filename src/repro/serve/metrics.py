@@ -117,9 +117,93 @@ def render_metrics(stats: Dict[str, Any]) -> str:
     family(
         "extrap_job_queue_depth_limit",
         "gauge",
-        "Queued-job limit before submissions get 429.",
+        "Queued-job limit before submissions are shed with 503.",
         [_sample("extrap_job_queue_depth_limit", {}, jobs["queue_depth_limit"])],
     )
+    # Admission control: always rendered (zero when the limiter is off)
+    # so dashboards can alert on the counters existing at 0 vs moving.
+    admission: Mapping[str, Any] = stats.get(
+        "admission", {"rate_limited_total": 0, "shed_total": 0}
+    )
+    family(
+        "serve_rate_limited_total",
+        "counter",
+        "Requests rejected by the per-client rate limit.",
+        [
+            _sample(
+                "serve_rate_limited_total",
+                {"code": "429"},
+                admission.get("rate_limited_total", 0),
+            )
+        ],
+    )
+    family(
+        "serve_shed_total",
+        "counter",
+        "Job submissions shed because the queue was saturated or draining.",
+        [
+            _sample(
+                "serve_shed_total", {"code": "503"}, admission.get("shed_total", 0)
+            )
+        ],
+    )
+    journal: Mapping[str, Any] = stats.get("journal", {"enabled": False})
+    family(
+        "extrap_journal_enabled",
+        "gauge",
+        "Whether crash-safe job journaling (--state-dir) is enabled.",
+        [_sample("extrap_journal_enabled", {}, journal.get("enabled", False))],
+    )
+    if journal.get("enabled"):
+        family(
+            "serve_jobs_recovered_total",
+            "counter",
+            "Jobs re-enqueued from the journal at the last startup.",
+            [
+                _sample(
+                    "serve_jobs_recovered_total",
+                    {},
+                    journal.get("recovered_total", 0),
+                )
+            ],
+        )
+        family(
+            "extrap_journal_entries",
+            "gauge",
+            "Records in the job journal since the last compaction.",
+            [_sample("extrap_journal_entries", {}, journal.get("entries", 0))],
+        )
+        family(
+            "extrap_journal_bytes",
+            "gauge",
+            "Size of the job journal on disk.",
+            [_sample("extrap_journal_bytes", {}, journal.get("bytes", 0))],
+        )
+        last = journal.get("last_replay") or {}
+        family(
+            "extrap_journal_last_replay_entries",
+            "gauge",
+            "Well-formed records read at the last journal replay.",
+            [
+                _sample(
+                    "extrap_journal_last_replay_entries",
+                    {},
+                    last.get("entries", 0),
+                )
+            ],
+        )
+        family(
+            "extrap_journal_last_replay_corrupt",
+            "gauge",
+            "Journal lines quarantined at the last replay.",
+            [
+                _sample(
+                    "extrap_journal_last_replay_corrupt",
+                    {},
+                    last.get("corrupt", 0),
+                )
+            ],
+        )
     run_samples: List[str] = []
     for kind, entry in jobs["run_seconds"].items():
         run_samples.append(

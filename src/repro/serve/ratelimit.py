@@ -1,0 +1,89 @@
+"""Per-client token-bucket admission control for the serve API.
+
+One bucket per client key (the HTTP layer keys by remote address):
+``burst`` tokens to start, refilled at ``rate`` tokens per second, one
+token per request.  An empty bucket means the request is rejected *now*
+— the server never queues rate-limited work — with an exact
+``retry_after`` telling the client when one token will exist again.
+
+The clock is injectable, which is what makes ``Retry-After`` values
+deterministic in tests: with a fake clock, the same request sequence
+produces byte-identical 429 responses.
+
+Memory is bounded: at most ``max_clients`` buckets are tracked, evicted
+least-recently-used.  An evicted client restarts with a full bucket —
+strictly in the client's favor, so eviction can never lock anyone out.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from collections import OrderedDict
+from typing import Callable, Dict, Tuple
+
+
+class RateLimiter:
+    """Token buckets keyed by client, LRU-bounded, thread-safe."""
+
+    def __init__(
+        self,
+        rate: float,
+        burst: "int | None" = None,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+        max_clients: int = 4096,
+    ):
+        if rate <= 0:
+            raise ValueError(f"rate must be > 0 requests/s, got {rate}")
+        if burst is None:
+            burst = max(1, math.ceil(rate))
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        if max_clients < 1:
+            raise ValueError(f"max_clients must be >= 1, got {max_clients}")
+        self.rate = float(rate)
+        self.burst = int(burst)
+        self.max_clients = int(max_clients)
+        self._clock = clock
+        self._lock = threading.Lock()
+        #: key -> (tokens, last-refill stamp); insertion order is LRU
+        self._buckets: "OrderedDict[str, Tuple[float, float]]" = OrderedDict()
+
+    def allow(self, key: str) -> Tuple[bool, float]:
+        """Spend one token for ``key``.
+
+        Returns ``(True, 0.0)`` when admitted, else ``(False,
+        retry_after_s)`` where ``retry_after_s`` is exactly how long
+        until the bucket holds one token again.
+        """
+        now = self._clock()
+        with self._lock:
+            tokens, stamp = self._buckets.get(key, (float(self.burst), now))
+            tokens = min(float(self.burst), tokens + (now - stamp) * self.rate)
+            if tokens >= 1.0:
+                tokens -= 1.0
+                allowed, retry_after = True, 0.0
+            else:
+                allowed, retry_after = False, (1.0 - tokens) / self.rate
+            self._buckets[key] = (tokens, now)
+            self._buckets.move_to_end(key)
+            while len(self._buckets) > self.max_clients:
+                self._buckets.popitem(last=False)
+        return allowed, retry_after
+
+    def tracked_clients(self) -> int:
+        with self._lock:
+            return len(self._buckets)
+
+    def config(self) -> Dict[str, float]:
+        """The knobs, for ``/v1/stats``."""
+        return {"rate": self.rate, "burst": self.burst}
+
+
+def retry_after_header(retry_after_s: float) -> int:
+    """``Retry-After`` header value for a delay: integral seconds,
+    rounded up, never below 1 (a zero would invite an instant retry of
+    a request that was just rejected)."""
+    return max(1, math.ceil(retry_after_s))

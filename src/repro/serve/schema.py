@@ -25,12 +25,19 @@ MAX_INLINE_THREADS = 65_536
 
 
 class ApiError(Exception):
-    """A client-visible request failure: HTTP status + one-line message."""
+    """A client-visible request failure: HTTP status + one-line message.
 
-    def __init__(self, status: int, message: str):
+    ``retry_after`` (integral seconds) is set on admission failures —
+    429 rate limiting and 503 load shedding — and becomes both the
+    ``Retry-After`` response header and a ``retry_after`` field in the
+    error body, so well-behaved clients can back off precisely.
+    """
+
+    def __init__(self, status: int, message: str, *, retry_after: Optional[int] = None):
         super().__init__(message)
         self.status = int(status)
         self.message = str(message)
+        self.retry_after = None if retry_after is None else int(retry_after)
 
 
 def bad_request(message: str) -> ApiError:

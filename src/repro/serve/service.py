@@ -23,25 +23,40 @@ untrusted clients):
 * inline traces are size-capped (:data:`repro.serve.schema.MAX_INLINE_EVENTS`);
 * per-request wall budgets are clamped to the server's configured
   maximum, so no request can opt out of the watchdog;
-* sweep submissions are bounded by the job queue's depth limit (429 on
-  overflow) and their parallelism is clamped to the server's
-  ``sweep_jobs``.
+* sweep submissions are bounded by the job queue's depth limit (shed
+  with 503 + ``Retry-After`` on overflow — 429 is reserved for the
+  per-client rate limiter, which the HTTP layer checks first) and their
+  parallelism is clamped to the server's ``sweep_jobs``.
+
+Durability (opt-in via ``state_dir``): every accepted sweep job is
+recorded in an append-only, fsync'd journal *before* the client hears
+202, and every lifecycle transition after it.  On startup the journal
+is replayed: jobs that were queued, running, or interrupted when the
+last process died are rebuilt from their journaled request bodies and
+re-enqueued under their original ids — a crashed server's clients keep
+polling the same job URL and eventually get the same bytes, because the
+points a job completed before the crash are memoized in the shared
+``ResultCache``.  Without ``state_dir`` nothing is journaled and the
+service behaves exactly as before.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import threading
 import time
 from pathlib import Path
-from typing import Any, Dict, Mapping, Optional
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple
 
 from repro import __version__
 from repro.core import presets
 from repro.core.pipeline import extrapolate
 from repro.des import SimulationStalled
 from repro.metrics.report import predict_summary
-from repro.serve.jobs import JobQueue, QueueClosedError, QueueFullError
+from repro.serve.jobs import Job, JobQueue, QueueClosedError, QueueFullError
+from repro.serve.journal import JobJournal, request_digest
+from repro.serve.ratelimit import RateLimiter
 from repro.serve.schema import (
     ApiError,
     PredictRequest,
@@ -64,6 +79,18 @@ log = get_logger("serve")
 #: stored under a key changes shape)
 PREDICT_CACHE_EXTRA = {"serve": "predict", "payload": 1}
 
+#: deterministic ``Retry-After`` seconds on a 503 shed (queue full)
+SHED_RETRY_AFTER_S = 2
+
+#: deterministic ``Retry-After`` seconds on a 503 while draining — the
+#: supervisor restart that follows a drain takes longer than a shed
+DRAIN_RETRY_AFTER_S = 5
+
+#: chaos-harness hook (test-only): seconds each sweep job sleeps before
+#: doing real work, widening the SIGKILL-mid-job window for the
+#: crash-recovery tests; unset/0 in production means zero overhead
+CHAOS_SLOW_JOB_ENV = "EXTRAP_SERVE_CHAOS_SLOW_JOB_S"
+
 
 class ExtrapService:
     """Endpoint implementations + shared state (cache, jobs, counters)."""
@@ -77,15 +104,44 @@ class ExtrapService:
         workers: int = 1,
         sweep_jobs: int = 1,
         max_wall_budget: Optional[float] = None,
+        state_dir: "str | Path | None" = None,
+        rate_limit: Optional[float] = None,
+        rate_burst: Optional[int] = None,
+        job_budget: Optional[float] = None,
+        drain_timeout: Optional[float] = None,
+        clock: Optional[Any] = None,
     ):
         self.trace_root = Path(trace_root).resolve()
         self.cache = cache
         self.sweep_jobs = max(1, int(sweep_jobs))
         self.max_wall_budget = max_wall_budget
-        self.jobs = JobQueue(depth=queue_depth, workers=workers)
+        self.drain_timeout = drain_timeout
+        self.limiter: Optional[RateLimiter] = None
+        if rate_limit is not None:
+            limiter_kwargs: Dict[str, Any] = {}
+            if clock is not None:
+                limiter_kwargs["clock"] = clock
+            self.limiter = RateLimiter(rate_limit, rate_burst, **limiter_kwargs)
+        try:
+            self._chaos_slow_s = float(os.environ.get(CHAOS_SLOW_JOB_ENV) or 0.0)
+        except ValueError:
+            self._chaos_slow_s = 0.0
+        self.journal = JobJournal(state_dir) if state_dir is not None else None
+        self.recovered_total = 0
+        self._last_replay: Optional[Dict[str, Any]] = None
+        self.jobs = JobQueue(
+            depth=queue_depth,
+            workers=workers,
+            observer=self._journal_transition if self.journal is not None else None,
+            job_budget=job_budget,
+        )
         self._t0 = time.monotonic()
         self._lock = threading.Lock()
         self._requests: Dict[str, int] = {}
+        self._rate_limited_total = 0
+        self._shed_total = 0
+        if self.journal is not None:
+            self._recover()
 
     # -- bookkeeping ---------------------------------------------------------
 
@@ -93,8 +149,104 @@ class ExtrapService:
         with self._lock:
             self._requests[endpoint] = self._requests.get(endpoint, 0) + 1
 
+    def count_rate_limited(self) -> None:
+        with self._lock:
+            self._rate_limited_total += 1
+
+    def count_shed(self) -> None:
+        with self._lock:
+            self._shed_total += 1
+
     def uptime_s(self) -> float:
         return time.monotonic() - self._t0
+
+    # -- durability ----------------------------------------------------------
+
+    def _journal_transition(self, job: Job) -> None:
+        """JobQueue observer → journal records (queue lock held).
+
+        Only durable jobs (those carrying a rebuildable request payload)
+        are journaled; transitions of ephemeral in-process jobs would
+        replay as orphans and are skipped entirely.
+        """
+        journal = self.journal
+        if journal is None or not job.durable:
+            return
+        if job.status == "queued":
+            if job.recovered:
+                return  # the compacted journal already holds its submit
+            journal.append(
+                "submit",
+                job.id,
+                kind=job.kind,
+                label=job.label,
+                request=job.payload,
+                digest=job.digest,
+            )
+        elif job.status == "running":
+            journal.append("start", job.id)
+        elif job.status == "done":
+            journal.append("done", job.id)
+        elif job.status == "failed":
+            journal.append(
+                "failed", job.id, error_type=job.error_type, error=job.error
+            )
+        elif job.status in ("cancelled", "interrupted"):
+            journal.append(job.status, job.id)
+
+    def _recover(self) -> None:
+        """Replay the journal, compact it, re-enqueue unfinished jobs."""
+        assert self.journal is not None
+        replay = self.journal.replay()
+        self._last_replay = replay.as_dict()
+        # Compact *first* (atomically): a crash during recovery leaves a
+        # journal that still names every pending job.
+        self.journal.reset(keep=replay.pending)
+        for record in replay.pending:
+            self._resubmit(record)
+        self.recovered_total = len(replay.pending)
+        if replay.pending or replay.corrupt or replay.truncated_tail:
+            log.info(
+                "journal replay: %d record(s), %d job(s) recovered, "
+                "%d corrupt quarantined, torn tail=%s",
+                replay.entries,
+                len(replay.pending),
+                replay.corrupt,
+                replay.truncated_tail,
+            )
+
+    def _resubmit(self, record: Mapping[str, Any]) -> None:
+        """Rebuild one journaled job and re-enqueue it under its old id.
+
+        A request that no longer validates (the trace file vanished, a
+        preset was renamed) becomes a job that fails with that message —
+        visible to the polling client — rather than a recovery crash.
+        """
+        job_id = str(record["job"])
+        request = dict(record["request"])
+        kind = str(record.get("kind", "sweep"))
+        label = str(record.get("label", ""))
+        try:
+            if kind != "sweep":
+                raise ApiError(500, f"cannot recover a job of kind {kind!r}")
+            fn, spec = self._build_sweep_fn(request)
+            label = f"{spec.name} ({len(spec)} points)"
+        except ApiError as exc:
+            message = f"recovery failed: {exc.message}"
+
+            def fn(message: str = message) -> None:
+                raise RuntimeError(message)
+
+        self.jobs.submit(
+            kind,
+            fn,
+            label=label,
+            job_id=job_id,
+            payload=request,
+            digest=str(record.get("digest", "")),
+            recovered=True,
+            force=True,
+        )
 
     # -- trace loading -------------------------------------------------------
 
@@ -169,12 +321,32 @@ class ExtrapService:
             )
         with self._lock:
             requests = dict(sorted(self._requests.items()))
+            rate_limited = self._rate_limited_total
+            shed = self._shed_total
+        admission: Dict[str, Any] = {
+            "rate_limit": {"enabled": self.limiter is not None},
+            "rate_limited_total": rate_limited,
+            "shed_total": shed,
+        }
+        if self.limiter is not None:
+            admission["rate_limit"].update(self.limiter.config())
+        journal_stats: Dict[str, Any] = {"enabled": self.journal is not None}
+        if self.journal is not None:
+            journal_stats.update(
+                path=str(self.journal.path),
+                entries=self.journal.entries,
+                bytes=self.journal.size_bytes(),
+                recovered_total=self.recovered_total,
+                last_replay=self._last_replay,
+            )
         return {
             "version": __version__,
             "uptime_s": round(self.uptime_s(), 3),
             "requests": requests,
             "requests_total": sum(requests.values()),
             "cache": cache_stats,
+            "admission": admission,
+            "journal": journal_stats,
             "jobs": {
                 **self.jobs.counts(),
                 "queue_depth_limit": self.jobs.depth,
@@ -239,7 +411,14 @@ class ExtrapService:
             **payload,
         }
 
-    def submit_sweep(self, body: Any) -> Dict[str, Any]:
+    def _build_sweep_fn(
+        self, body: Any
+    ) -> Tuple[Callable[[], Dict[str, Any]], SweepSpec]:
+        """Validate a sweep request body into its run closure + spec.
+
+        Shared by live submission and journal recovery, so a recovered
+        job runs through exactly the code path the original would have.
+        """
         req = validate_sweep_request(body)
         try:
             spec = SweepSpec.from_dict(req.spec)
@@ -256,8 +435,11 @@ class ExtrapService:
         jobs = min(req.jobs or 1, self.sweep_jobs)
         wall_budget = self._clamp_budget(req.wall_budget)
         retries = req.retries if req.retries is not None else 1
+        chaos_slow_s = self._chaos_slow_s
 
         def run() -> Dict[str, Any]:
+            if chaos_slow_s:  # test-only fault hook; see CHAOS_SLOW_JOB_ENV
+                time.sleep(chaos_slow_s)
             run_ = run_sweep(
                 spec,
                 trace=trace,
@@ -270,14 +452,35 @@ class ExtrapService:
             artifact["counters"] = run_.counters.as_dict()
             return artifact
 
+        return run, spec
+
+    def submit_sweep(self, body: Any) -> Dict[str, Any]:
+        run, spec = self._build_sweep_fn(body)
+        payload: Optional[Dict[str, Any]] = None
+        digest = ""
+        if self.journal is not None:
+            # dict(body) is JSON-safe by construction (it arrived as
+            # JSON); the journal needs it to rebuild the job on restart.
+            payload = dict(body)
+            digest = request_digest(payload)
         try:
             job = self.jobs.submit(
-                "sweep", run, label=f"{spec.name} ({len(spec)} points)"
+                "sweep",
+                run,
+                label=f"{spec.name} ({len(spec)} points)",
+                payload=payload,
+                digest=digest,
             )
         except QueueFullError as exc:
-            raise ApiError(429, str(exc)) from None
+            self.count_shed()
+            raise ApiError(
+                503, str(exc), retry_after=SHED_RETRY_AFTER_S
+            ) from None
         except QueueClosedError as exc:
-            raise ApiError(503, str(exc)) from None
+            self.count_shed()
+            raise ApiError(
+                503, str(exc), retry_after=DRAIN_RETRY_AFTER_S
+            ) from None
         return {**job.status_dict(), "points": len(spec)}
 
     def job_status(self, job_id: str) -> Dict[str, Any]:
@@ -296,12 +499,29 @@ class ExtrapService:
             )
         if job.status == "cancelled":
             raise ApiError(409, f"job {job_id} was cancelled at shutdown")
+        if job.status == "interrupted":
+            raise ApiError(
+                409,
+                f"job {job_id} was interrupted at shutdown; a restart with "
+                "the same --state-dir will recover it",
+            )
         if job.status == "failed":
             raise ApiError(500, f"job {job_id} failed: {job.error_type}: {job.error}")
         return {**job.status_dict(), "result": job.result}
 
     # -- lifecycle -----------------------------------------------------------
 
-    def close(self, *, drain: bool = True, timeout: Optional[float] = None) -> None:
-        """Drain (or cancel) the job queue; idempotent."""
-        self.jobs.close(drain=drain, timeout=timeout)
+    def close(self, *, drain: bool = True, timeout: Optional[float] = None) -> bool:
+        """Drain (or cancel) the job queue; idempotent.
+
+        ``timeout`` defaults to the configured ``drain_timeout``; past
+        it, unfinished jobs are journaled ``interrupted`` and the call
+        returns ``False`` (the process should still exit 0 — a
+        supervisor restart recovers the interrupted jobs).
+        """
+        if timeout is None:
+            timeout = self.drain_timeout
+        drained = self.jobs.close(drain=drain, timeout=timeout)
+        if self.journal is not None:
+            self.journal.close()
+        return drained

@@ -1,0 +1,108 @@
+"""Example client backoff: honors Retry-After, caps retries, seeded jitter."""
+
+import importlib.util
+import random
+from pathlib import Path
+
+import pytest
+
+CLIENT_PY = Path(__file__).resolve().parent.parent / "examples" / "serve_client.py"
+
+
+@pytest.fixture(scope="module")
+def mod():
+    spec = importlib.util.spec_from_file_location("serve_client", CLIENT_PY)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def make_client(mod, responses, seed=7):
+    """Client whose transport replays ``responses`` and whose sleeps
+    are recorded instead of slept."""
+    client = mod.Client("h", 0, rng=random.Random(seed), sleep=None)
+    script = list(responses)
+    calls = []
+    slept = []
+
+    def fake_request(method, path, body=None):
+        calls.append((method, path, body))
+        return script[min(len(calls) - 1, len(script) - 1)]
+
+    client.request = fake_request
+    client.sleep = slept.append
+    return client, calls, slept
+
+
+def test_success_passes_through_without_sleeping(mod):
+    client, calls, slept = make_client(mod, [(200, {"ok": True}, {})])
+    status, data, headers = client.request_retry("GET", "/v1/stats")
+    assert (status, data) == (200, {"ok": True})
+    assert len(calls) == 1
+    assert slept == []
+
+
+def test_429_honors_retry_after_header_as_floor(mod):
+    responses = [
+        (429, {"error": {"retry_after": 3}}, {"Retry-After": "3"}),
+        (200, {"ok": True}, {}),
+    ]
+    client, calls, slept = make_client(mod, responses)
+    status, _, _ = client.request_retry("POST", "/v1/predict", {"x": 1})
+    assert status == 200
+    assert len(calls) == 2
+    assert len(slept) == 1
+    # Floor is the server's Retry-After; jitter adds at most base*2^0.
+    assert 3.0 <= slept[0] <= 3.0 + mod.BACKOFF_BASE_S
+
+
+def test_503_falls_back_to_body_retry_after(mod):
+    responses = [
+        (503, {"error": {"retry_after": 2}}, {}),  # no header
+        (200, {"ok": True}, {}),
+    ]
+    client, _, slept = make_client(mod, responses)
+    status, _, _ = client.request_retry("POST", "/v1/sweeps", {})
+    assert status == 200
+    assert 2.0 <= slept[0] <= 2.0 + mod.BACKOFF_BASE_S
+
+
+def test_retries_capped_then_returns_last_response(mod):
+    always_limited = [(429, {"error": {"retry_after": 1}}, {"Retry-After": "1"})]
+    client, calls, slept = make_client(mod, always_limited)
+    status, data, _ = client.request_retry("GET", "/v1/stats", max_retries=3)
+    assert status == 429  # surfaced, not raised — caller decides
+    assert len(calls) == 4  # initial + 3 retries
+    assert len(slept) == 3
+
+
+def test_jitter_grows_exponentially_and_caps(mod):
+    always = [(503, {"error": {"retry_after": 0}}, {"Retry-After": "0"})]
+    client, _, slept = make_client(mod, always)
+    client.request_retry("GET", "/v1/stats", max_retries=10)
+    caps = [
+        min(mod.BACKOFF_CAP_S, mod.BACKOFF_BASE_S * (2 ** i))
+        for i in range(10)
+    ]
+    assert all(0.0 <= s <= c for s, c in zip(slept, caps))
+    # Later windows actually widen (probability ~1 under a fixed seed).
+    assert max(slept[5:]) > max(slept[:2])
+
+
+def test_seeded_jitter_is_reproducible(mod):
+    responses = [(429, {"error": {"retry_after": 1}}, {"Retry-After": "1"})]
+    client_a, _, slept_a = make_client(mod, responses, seed=42)
+    client_b, _, slept_b = make_client(mod, responses, seed=42)
+    client_c, _, slept_c = make_client(mod, responses, seed=43)
+    for c in (client_a, client_b, client_c):
+        c.request_retry("GET", "/v1/stats", max_retries=4)
+    assert slept_a == slept_b
+    assert slept_a != slept_c
+
+
+def test_non_retryable_errors_return_immediately(mod):
+    client, calls, slept = make_client(mod, [(400, {"error": {}}, {})])
+    status, _, _ = client.request_retry("POST", "/v1/predict", {})
+    assert status == 400
+    assert len(calls) == 1
+    assert slept == []

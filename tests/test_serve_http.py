@@ -43,6 +43,11 @@ def server(trace_root, tmp_path):
 
 
 def request(server, method, path, body=None, raw=None):
+    status, data, _headers = request_full(server, method, path, body, raw)
+    return status, data
+
+
+def request_full(server, method, path, body=None, raw=None):
     conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=60)
     payload = raw if raw is not None else (
         json.dumps(body) if body is not None else None
@@ -50,8 +55,9 @@ def request(server, method, path, body=None, raw=None):
     conn.request(method, path, body=payload)
     resp = conn.getresponse()
     data = json.loads(resp.read())
+    headers = dict(resp.getheaders())
     conn.close()
-    return resp.status, data
+    return resp.status, data, headers
 
 
 # -- happy paths -------------------------------------------------------------
@@ -126,7 +132,10 @@ def test_error_responses_are_json_one_liners(server):
         assert "Traceback" not in message
 
 
-def test_queue_overflow_429_over_http(server, trace_root):
+def test_queue_overflow_sheds_503_over_http(server, trace_root):
+    """Saturation is a 503 shed with a deterministic Retry-After."""
+    from repro.serve.service import SHED_RETRY_AFTER_S
+
     service = server.service
     gate = threading.Event()
     running = threading.Event()
@@ -141,12 +150,49 @@ def test_queue_overflow_429_over_http(server, trace_root):
         body = {"spec": spec, "trace_path": "t.jsonl"}
         statuses = []
         for _ in range(service.jobs.depth + 1):
-            status, _data = request(server, "POST", "/v1/sweeps", body)
+            status, data, headers = request_full(server, "POST", "/v1/sweeps", body)
             statuses.append(status)
         assert statuses[:-1] == [202] * service.jobs.depth
-        assert statuses[-1] == 429
+        assert statuses[-1] == 503
+        assert headers["Retry-After"] == str(SHED_RETRY_AFTER_S)
+        assert data["error"]["retry_after"] == SHED_RETRY_AFTER_S
     finally:
         gate.set()
+
+
+def test_rate_limit_429_over_http(trace_root, tmp_path):
+    """Over-budget clients get 429 + Retry-After; healthz stays exempt."""
+    service = ExtrapService(
+        trace_root=trace_root,
+        cache=None,
+        rate_limit=0.001,  # one token every ~17 minutes: burst then stop
+        rate_burst=2,
+    )
+    srv, thread = start_server(service, port=0)
+    try:
+        for _ in range(2):
+            status, _ = request(srv, "GET", "/v1/stats")
+            assert status == 200
+        status, data, headers = request_full(srv, "GET", "/v1/stats")
+        assert status == 429
+        assert "rate limit exceeded" in data["error"]["message"]
+        retry_after = int(headers["Retry-After"])
+        assert retry_after >= 1
+        assert data["error"]["retry_after"] == retry_after
+        # Liveness and metric scrapes must survive a throttled client.
+        assert request(srv, "GET", "/v1/healthz")[0] == 200
+        conn = http.client.HTTPConnection("127.0.0.1", srv.port, timeout=60)
+        conn.request("GET", "/v1/metrics")
+        resp = conn.getresponse()
+        text = resp.read().decode("utf-8")
+        conn.close()
+        assert resp.status == 200
+        assert 'serve_rate_limited_total{code="429"} 1' in text
+        assert service.stats()["admission"]["rate_limited_total"] == 1
+    finally:
+        srv.shutdown()
+        thread.join(10)
+        srv.close(drain=False)
 
 
 def test_concurrent_clients_identical_responses(server):

@@ -1,0 +1,389 @@
+"""Job journal: record grammar, replay forensics, in-process recovery."""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.serve import ExtrapService, JobJournal, request_digest
+from repro.serve.journal import JOURNAL_SCHEMA
+from repro.sweep.cache import ResultCache
+
+SPEC = {
+    "name": "journal-demo",
+    "preset": "cm5",
+    "grid": {"network.comm_startup_time": [50.0, 100.0]},
+}
+
+
+@pytest.fixture(scope="module")
+def trace_root(tmp_path_factory):
+    root = tmp_path_factory.mktemp("journal-traces")
+    assert main(["trace", "embar", "-n", "4", "-o", str(root / "t.jsonl")]) == 0
+    return root
+
+
+def record_line(op, job, **fields):
+    return (
+        json.dumps(
+            {"schema": JOURNAL_SCHEMA, "op": op, "job": job, **fields},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        + "\n"
+    )
+
+
+def submit_line(job, body, **extra):
+    return record_line(
+        "submit", job, kind="sweep", label="", request=body,
+        digest=request_digest(body), **extra,
+    )
+
+
+# -- append/replay round trip ------------------------------------------------
+
+
+def test_append_then_replay_round_trip(tmp_path):
+    j = JobJournal(tmp_path)
+    body = {"spec": SPEC, "trace_path": "t.jsonl"}
+    j.append("submit", "j000001", kind="sweep", label="x", request=body,
+             digest=request_digest(body))
+    j.append("start", "j000001")
+    j.append("done", "j000001")
+    j.append("submit", "j000002", kind="sweep", label="y", request=body,
+             digest=request_digest(body))
+    j.append("start", "j000002")
+    j.close()
+    replay = JobJournal(tmp_path).replay()
+    assert replay.entries == 5
+    assert replay.corrupt == 0
+    assert not replay.truncated_tail
+    # j000001 finished; j000002 was mid-run -> owed work.
+    assert [r["job"] for r in replay.pending] == ["j000002"]
+
+
+def test_replay_missing_journal_is_empty(tmp_path):
+    replay = JobJournal(tmp_path).replay()
+    assert replay.entries == 0
+    assert replay.pending == []
+
+
+@pytest.mark.parametrize("terminal", ["done", "failed", "cancelled"])
+def test_terminal_ops_need_no_recovery(tmp_path, terminal):
+    j = JobJournal(tmp_path)
+    (j.root / "jobs.jsonl").write_text(
+        submit_line("j000001", {"spec": SPEC}) + record_line(terminal, "j000001")
+    )
+    assert j.replay().pending == []
+
+
+def test_interrupted_is_recoverable(tmp_path):
+    """A bounded-drain 'interrupted' job is exactly what restarts recover."""
+    j = JobJournal(tmp_path)
+    (j.root / "jobs.jsonl").write_text(
+        submit_line("j000001", {"spec": SPEC})
+        + record_line("start", "j000001")
+        + record_line("interrupted", "j000001")
+    )
+    assert [r["job"] for r in j.replay().pending] == ["j000001"]
+
+
+# -- crash artifacts ---------------------------------------------------------
+
+
+def test_truncated_tail_dropped_silently(tmp_path):
+    """A torn final line is the normal kill -9 artifact, not corruption."""
+    j = JobJournal(tmp_path)
+    good = submit_line("j000001", {"spec": SPEC})
+    torn = submit_line("j000002", {"spec": SPEC})[:25]  # no newline, mid-JSON
+    (j.root / "jobs.jsonl").write_text(good + torn)
+    replay = j.replay()
+    assert replay.truncated_tail
+    assert replay.corrupt == 0
+    assert [r["job"] for r in replay.pending] == ["j000001"]
+    assert not j.quarantine_path.exists()
+
+
+def test_corrupt_midfile_line_quarantined(tmp_path):
+    j = JobJournal(tmp_path)
+    (j.root / "jobs.jsonl").write_text(
+        submit_line("j000001", {"spec": SPEC})
+        + "{this is not json\n"
+        + submit_line("j000002", {"spec": SPEC})
+    )
+    replay = j.replay()
+    assert replay.corrupt == 1
+    assert [r["job"] for r in replay.pending] == ["j000001", "j000002"]
+    assert "{this is not json" in j.quarantine_path.read_text()
+
+
+def test_unknown_schema_version_quarantined(tmp_path):
+    j = JobJournal(tmp_path)
+    foreign = json.dumps(
+        {"schema": 999, "op": "submit", "job": "j000009", "request": {}}
+    )
+    (j.root / "jobs.jsonl").write_text(
+        foreign + "\n" + submit_line("j000001", {"spec": SPEC})
+    )
+    replay = j.replay()
+    assert replay.corrupt == 1
+    assert [r["job"] for r in replay.pending] == ["j000001"]
+
+
+def test_bad_shapes_quarantined(tmp_path):
+    j = JobJournal(tmp_path)
+    lines = [
+        json.dumps([1, 2, 3]),                                    # not an object
+        json.dumps({"schema": 1, "op": "explode", "job": "j1"}),  # unknown op
+        json.dumps({"schema": 1, "op": "start"}),                 # no job id
+        json.dumps({"schema": 1, "op": "submit", "job": "j1"}),   # no request
+    ]
+    (j.root / "jobs.jsonl").write_text("\n".join(lines) + "\n")
+    replay = j.replay()
+    assert replay.corrupt == 4
+    assert replay.entries == 0
+
+
+def test_duplicate_job_ids_first_submit_wins(tmp_path):
+    j = JobJournal(tmp_path)
+    first = {"spec": SPEC, "trace_path": "a.jsonl"}
+    second = {"spec": SPEC, "trace_path": "b.jsonl"}
+    (j.root / "jobs.jsonl").write_text(
+        submit_line("j000001", first) + submit_line("j000001", second)
+    )
+    replay = j.replay()
+    assert replay.duplicates == 1
+    assert len(replay.pending) == 1
+    assert replay.pending[0]["request"]["trace_path"] == "a.jsonl"
+
+
+def test_orphan_transitions_counted_not_fatal(tmp_path):
+    j = JobJournal(tmp_path)
+    (j.root / "jobs.jsonl").write_text(
+        record_line("start", "j000042") + record_line("done", "j000042")
+    )
+    replay = j.replay()
+    assert replay.orphans == 2
+    assert replay.pending == []
+
+
+def test_reset_compacts_atomically(tmp_path):
+    j = JobJournal(tmp_path)
+    body = {"spec": SPEC}
+    for i in range(5):
+        j.append("submit", f"j{i:06d}", kind="sweep", label="", request=body,
+                 digest="d")
+        j.append("done", f"j{i:06d}")
+    keep = [{"schema": 1, "op": "submit", "job": "jX", "kind": "sweep",
+             "label": "", "request": body, "digest": "d"}]
+    j.reset(keep=keep)
+    assert j.entries == 1
+    replay = JobJournal(tmp_path).replay()
+    assert [r["job"] for r in replay.pending] == ["jX"]
+    # Appends keep working after a compaction.
+    j.append("start", "jX")
+    assert j.entries == 2
+    j.close()
+
+
+def test_append_is_durable_per_record(tmp_path):
+    """Every append is on disk immediately — no buffering window."""
+    j = JobJournal(tmp_path)
+    j.append("submit", "j000001", kind="sweep", label="", request={"spec": SPEC},
+             digest="d")
+    on_disk = (tmp_path / "jobs.jsonl").read_text()
+    assert on_disk.endswith("\n")
+    assert json.loads(on_disk.splitlines()[0])["job"] == "j000001"
+    j.close()
+
+
+def test_append_rejects_unknown_op(tmp_path):
+    with pytest.raises(ValueError):
+        JobJournal(tmp_path).append("explode", "j1")
+
+
+def test_unjournalable_submit_is_rejected():
+    """Disk-full on the submit record must fail the submit — a 202
+    whose journal write was dropped would be a promise a crash breaks."""
+    from repro.serve import JobQueue
+
+    def observer(job):
+        if job.status == "queued":
+            raise OSError("disk full")
+
+    q = JobQueue(depth=4, workers=1, observer=observer)
+    try:
+        with pytest.raises(OSError):
+            q.submit("test", lambda: None, payload={}, digest="d")
+        assert sum(q.counts().values()) == 0  # nothing half-registered
+    finally:
+        q.close(drain=True, timeout=10)
+
+
+# -- in-process service recovery --------------------------------------------
+
+
+def make_service(trace_root, tmp_path, state_dir, **kwargs):
+    return ExtrapService(
+        trace_root=trace_root,
+        cache=ResultCache(tmp_path / "cache"),
+        state_dir=state_dir,
+        **kwargs,
+    )
+
+
+def wait_done(service, job_id, timeout=60.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        status = service.job_status(job_id)
+        if status["status"] in ("done", "failed", "cancelled"):
+            return status
+        time.sleep(0.02)
+    raise AssertionError(f"job {job_id} did not finish")
+
+
+def test_service_without_state_dir_journals_nothing(trace_root, tmp_path):
+    svc = ExtrapService(trace_root=trace_root, cache=None)
+    try:
+        svc.submit_sweep({"spec": SPEC, "trace_path": "t.jsonl"})
+        assert svc.journal is None
+        assert list(tmp_path.iterdir()) == []
+    finally:
+        svc.close(drain=True, timeout=60)
+
+
+def test_recovery_reruns_interrupted_job_same_bytes(trace_root, tmp_path):
+    """Acceptance: a journaled mid-run job re-runs to the same artifact."""
+    state = tmp_path / "state"
+    body = {"spec": SPEC, "trace_path": "t.jsonl"}
+    # A previous server life accepted the job and died mid-run.
+    j = JobJournal(state)
+    j.append("submit", "j000007", kind="sweep", label="", request=body,
+             digest=request_digest(body))
+    j.append("start", "j000007")
+    j.close()
+
+    svc = make_service(trace_root, tmp_path, state)
+    try:
+        status = svc.job_status("j000007")  # original id still pollable
+        assert status["recovered"] is True
+        assert wait_done(svc, "j000007")["status"] == "done"
+        recovered = svc.job_result("j000007")["result"]
+        assert svc.stats()["journal"]["recovered_total"] == 1
+        assert svc.stats()["journal"]["last_replay"]["recovered"] == 1
+        # New ids continue past the recovered one.
+        fresh = svc.submit_sweep(body)
+        assert fresh["job"] == "j000008"
+        assert wait_done(svc, "j000008")["status"] == "done"
+        fresh_result = svc.job_result("j000008")["result"]
+    finally:
+        svc.close(drain=True, timeout=60)
+    # Identical deterministic artifact (counters are runtime telemetry —
+    # the recovered run hits the cache for points the first life finished).
+    a = {k: v for k, v in recovered.items() if k != "counters"}
+    b = {k: v for k, v in fresh_result.items() if k != "counters"}
+    assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+
+
+def test_recovery_of_vanished_trace_fails_visibly(trace_root, tmp_path):
+    state = tmp_path / "state"
+    body = {"spec": SPEC, "trace_path": "gone.jsonl"}
+    j = JobJournal(state)
+    j.append("submit", "j000001", kind="sweep", label="", request=body,
+             digest=request_digest(body))
+    j.close()
+    svc = make_service(trace_root, tmp_path, state)
+    try:
+        status = wait_done(svc, "j000001")
+        assert status["status"] == "failed"
+        assert "recovery failed" in status["error"]["message"]
+        assert "gone.jsonl" in status["error"]["message"]
+    finally:
+        svc.close(drain=True, timeout=60)
+
+
+def test_done_jobs_do_not_resurrect(trace_root, tmp_path):
+    state = tmp_path / "state"
+    body = {"spec": SPEC, "trace_path": "t.jsonl"}
+    j = JobJournal(state)
+    j.append("submit", "j000001", kind="sweep", label="", request=body,
+             digest=request_digest(body))
+    j.append("start", "j000001")
+    j.append("done", "j000001")
+    j.close()
+    svc = make_service(trace_root, tmp_path, state)
+    try:
+        assert svc.recovered_total == 0
+        with pytest.raises(Exception) as ei:
+            svc.job_status("j000001")
+        assert getattr(ei.value, "status", None) == 404
+    finally:
+        svc.close(drain=True, timeout=60)
+
+
+def test_lifecycle_is_journaled_end_to_end(trace_root, tmp_path):
+    """submit/start/done all land in the journal, fsync'd, in order."""
+    state = tmp_path / "state"
+    svc = make_service(trace_root, tmp_path, state)
+    try:
+        job = svc.submit_sweep({"spec": SPEC, "trace_path": "t.jsonl"})
+        wait_done(svc, job["job"])
+    finally:
+        svc.close(drain=True, timeout=60)
+    ops = [
+        json.loads(line)["op"]
+        for line in (state / "jobs.jsonl").read_text().splitlines()
+    ]
+    assert ops == ["submit", "start", "done"]
+    # A restart over this journal recovers nothing — the job finished.
+    svc2 = make_service(trace_root, tmp_path / "b", state)
+    try:
+        assert svc2.recovered_total == 0
+    finally:
+        svc2.close(drain=True, timeout=60)
+
+
+def test_ephemeral_jobs_not_journaled(trace_root, tmp_path):
+    """Direct JobQueue submissions carry no payload -> never journaled."""
+    state = tmp_path / "state"
+    svc = make_service(trace_root, tmp_path, state)
+    try:
+        done = threading.Event()
+        svc.jobs.submit("test", done.set)
+        assert done.wait(10)
+    finally:
+        svc.close(drain=True, timeout=60)
+    assert (state / "jobs.jsonl").read_text() == ""
+
+
+def test_drain_timeout_journals_interrupted(trace_root, tmp_path):
+    """close() past drain-timeout journals interrupted, restart recovers."""
+    state = tmp_path / "state"
+    body = {"spec": SPEC, "trace_path": "t.jsonl"}
+    svc = make_service(trace_root, tmp_path, state, workers=1)
+    gate = threading.Event()
+    running = threading.Event()
+    svc.jobs.submit("test", lambda: (running.set(), gate.wait()))
+    assert running.wait(10)
+    job = svc.submit_sweep(body)  # stuck behind the gated job
+    drained = svc.close(drain=True, timeout=0.2)
+    assert drained is False
+    assert svc.job_status(job["job"])["status"] == "interrupted"
+    e = pytest.raises(Exception, svc.job_result, job["job"])
+    assert getattr(e.value, "status", None) == 409
+    ops = [
+        json.loads(line)["op"]
+        for line in (state / "jobs.jsonl").read_text().splitlines()
+    ]
+    assert ops == ["submit", "interrupted"]
+    gate.set()
+    # The supervisor restart: the interrupted job runs to completion.
+    svc2 = make_service(trace_root, tmp_path / "b", state)
+    try:
+        assert svc2.recovered_total == 1
+        assert wait_done(svc2, job["job"])["status"] == "done"
+    finally:
+        svc2.close(drain=True, timeout=60)

@@ -157,6 +157,7 @@ def test_metrics_label_escaping():
             "done": 0,
             "failed": 0,
             "cancelled": 0,
+            "interrupted": 0,
             "queue_depth_limit": 4,
             "run_seconds": {},
         },

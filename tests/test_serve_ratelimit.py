@@ -1,0 +1,106 @@
+"""Token-bucket rate limiter: determinism under a fake clock, LRU bound."""
+
+import pytest
+
+from repro.serve import RateLimiter, retry_after_header
+
+
+class FakeClock:
+    def __init__(self, t=0.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+def test_burst_then_exact_retry_after():
+    clock = FakeClock()
+    rl = RateLimiter(rate=2.0, burst=3, clock=clock)
+    assert [rl.allow("c") for _ in range(3)] == [(True, 0.0)] * 3
+    # Bucket empty: next token exists in 1/rate = 0.5 s, exactly.
+    allowed, retry = rl.allow("c")
+    assert allowed is False
+    assert retry == pytest.approx(0.5)
+    # Same instant, same answer — denials spend nothing.
+    assert rl.allow("c") == (False, pytest.approx(0.5))
+
+
+def test_refill_restores_admission():
+    clock = FakeClock()
+    rl = RateLimiter(rate=2.0, burst=1, clock=clock)
+    assert rl.allow("c")[0] is True
+    assert rl.allow("c")[0] is False
+    clock.advance(0.5)  # one token accrued
+    assert rl.allow("c") == (True, 0.0)
+    assert rl.allow("c")[0] is False
+
+
+def test_refill_caps_at_burst():
+    clock = FakeClock()
+    rl = RateLimiter(rate=100.0, burst=2, clock=clock)
+    clock.advance(3600.0)  # an idle hour accrues burst tokens, not 360k
+    assert rl.allow("c")[0] is True
+    assert rl.allow("c")[0] is True
+    assert rl.allow("c")[0] is False
+
+
+def test_partial_refill_shrinks_retry_after():
+    clock = FakeClock()
+    rl = RateLimiter(rate=1.0, burst=1, clock=clock)
+    rl.allow("c")
+    assert rl.allow("c") == (False, pytest.approx(1.0))
+    clock.advance(0.75)
+    assert rl.allow("c") == (False, pytest.approx(0.25))
+
+
+def test_clients_are_independent():
+    clock = FakeClock()
+    rl = RateLimiter(rate=1.0, burst=1, clock=clock)
+    assert rl.allow("a")[0] is True
+    assert rl.allow("a")[0] is False
+    assert rl.allow("b")[0] is True  # b's bucket untouched by a's spend
+
+
+def test_default_burst_is_ceil_rate():
+    assert RateLimiter(rate=2.5).burst == 3
+    assert RateLimiter(rate=0.1).burst == 1  # never below one
+
+
+def test_lru_eviction_bounds_memory_and_forgives():
+    clock = FakeClock()
+    rl = RateLimiter(rate=1.0, burst=1, clock=clock, max_clients=2)
+    rl.allow("a")
+    rl.allow("b")
+    assert rl.allow("a")[0] is False  # drained, and freshly used
+    rl.allow("c")  # evicts b (least recently used), not a
+    assert rl.tracked_clients() == 2
+    assert rl.allow("a")[0] is False  # a survived eviction, still drained
+    # b was evicted; it returns with a full bucket — eviction favors
+    # the client, never locks one out.
+    assert rl.allow("b")[0] is True
+
+
+def test_bad_config_rejected():
+    with pytest.raises(ValueError):
+        RateLimiter(rate=0)
+    with pytest.raises(ValueError):
+        RateLimiter(rate=-1.0)
+    with pytest.raises(ValueError):
+        RateLimiter(rate=1.0, burst=0)
+    with pytest.raises(ValueError):
+        RateLimiter(rate=1.0, max_clients=0)
+
+
+def test_config_reports_knobs():
+    assert RateLimiter(rate=2.0, burst=5).config() == {"rate": 2.0, "burst": 5}
+
+
+def test_retry_after_header_rounds_up_never_zero():
+    assert retry_after_header(0.0) == 1
+    assert retry_after_header(0.2) == 1
+    assert retry_after_header(1.0) == 1
+    assert retry_after_header(1.01) == 2
+    assert retry_after_header(17.5) == 18

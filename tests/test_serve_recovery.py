@@ -1,0 +1,281 @@
+"""Chaos harness: SIGKILL / corrupt-journal / bounded-drain recovery.
+
+Process-level crash tests: a real ``extrap serve`` subprocess with
+``--state-dir`` is killed (or SIGTERM'd past its drain budget) while a
+job is in flight, restarted over the same state dir, and must finish
+the job under its original id with the artifact a clean server
+produces.  The ``EXTRAP_SERVE_CHAOS_SLOW_JOB_S`` hook widens the kill
+window; it is a no-op unless set.
+"""
+
+import http.client
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.serve.journal import JobJournal
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+SPEC = {
+    "name": "chaos",
+    "preset": "cm5",
+    "grid": {"network.comm_startup_time": [50.0, 100.0]},
+}
+
+URL_RE = re.compile(r"http://[\d.]+:(\d+)")
+
+
+@pytest.fixture(scope="module")
+def trace_root(tmp_path_factory):
+    root = tmp_path_factory.mktemp("recovery-traces")
+    assert main(["trace", "embar", "-n", "4", "-o", str(root / "t.jsonl")]) == 0
+    return root
+
+
+class Server:
+    """One `extrap serve` subprocess; reads the announced port."""
+
+    def __init__(self, trace_root, *extra_args, chaos_slow_s=None):
+        env = dict(os.environ, PYTHONPATH=str(SRC))
+        env.pop("EXTRAP_SERVE_CHAOS_SLOW_JOB_S", None)
+        if chaos_slow_s is not None:
+            env["EXTRAP_SERVE_CHAOS_SLOW_JOB_S"] = str(chaos_slow_s)
+        self.proc = subprocess.Popen(
+            [
+                sys.executable, "-u", "-m", "repro.cli", "serve",
+                "--port", "0", "--trace-root", str(trace_root), *extra_args,
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            env=env,
+            text=True,
+        )
+        self.banner = []
+        self.port = None
+        for _ in range(5):  # recovery announcements precede the URL line
+            line = self.proc.stdout.readline()
+            if not line:
+                break
+            self.banner.append(line)
+            m = URL_RE.search(line)
+            if m:
+                self.port = int(m.group(1))
+                break
+        assert self.port, f"no URL announced: {self.banner!r}"
+
+    def request(self, method, path, body=None, timeout=60):
+        conn = http.client.HTTPConnection("127.0.0.1", self.port, timeout=timeout)
+        try:
+            conn.request(
+                method, path, body=None if body is None else json.dumps(body)
+            )
+            resp = conn.getresponse()
+            return resp.status, json.loads(resp.read())
+        finally:
+            conn.close()
+
+    def wait_job(self, job_id, want, timeout=120.0):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            status, data = self.request("GET", f"/v1/jobs/{job_id}")
+            assert status == 200, data
+            if data["status"] in want:
+                return data
+            time.sleep(0.05)
+        raise AssertionError(f"job {job_id} never reached {want}")
+
+    def kill(self):
+        self.proc.kill()
+        self.proc.wait(10)
+
+    def terminate(self, timeout=60):
+        self.proc.send_signal(signal.SIGTERM)
+        return self.proc.wait(timeout)
+
+    def cleanup(self):
+        if self.proc.poll() is None:
+            self.proc.kill()
+            self.proc.wait(10)
+
+
+def canonical_result(artifact):
+    """The deterministic artifact bytes: counters are runtime telemetry
+    (a recovered run hits the cache for points the first life finished)
+    and are excluded from the identity check."""
+    return json.dumps(
+        {k: v for k, v in artifact.items() if k != "counters"}, sort_keys=True
+    )
+
+
+def run_clean_baseline(trace_root, tmp_path):
+    """The artifact an unhassled server produces for SPEC."""
+    server = Server(trace_root, "--cache-dir", str(tmp_path / "baseline-cache"))
+    try:
+        status, job = server.request(
+            "POST", "/v1/sweeps", {"spec": SPEC, "trace_path": "t.jsonl"}
+        )
+        assert status == 202
+        server.wait_job(job["job"], ("done",))
+        status, result = server.request(
+            "GET", f"/v1/jobs/{job['job']}/result"
+        )
+        assert status == 200
+        assert server.terminate() == 0
+        return canonical_result(result["result"])
+    finally:
+        server.cleanup()
+
+
+def test_sigkill_mid_job_recovers_to_identical_result(trace_root, tmp_path):
+    """Acceptance: kill -9 mid-job, restart, same id finishes with the
+    byte-identical artifact a clean run produces, and no 'recovered'
+    work runs twice (the result cache absorbs the replay)."""
+    state = tmp_path / "state"
+    cache = tmp_path / "cache"
+    server = Server(
+        trace_root,
+        "--state-dir", str(state),
+        "--cache-dir", str(cache),
+        chaos_slow_s=5,
+    )
+    job_id = None
+    try:
+        status, job = server.request(
+            "POST", "/v1/sweeps", {"spec": SPEC, "trace_path": "t.jsonl"}
+        )
+        assert status == 202
+        job_id = job["job"]
+        server.wait_job(job_id, ("running",))
+        server.kill()  # SIGKILL: no drain, no journal flush beyond fsync
+    finally:
+        server.cleanup()
+
+    # The journal survived the kill: submit + start, nothing terminal.
+    ops = [
+        json.loads(line)["op"]
+        for line in (state / "jobs.jsonl").read_text().splitlines()
+    ]
+    assert ops == ["submit", "start"]
+
+    restarted = Server(
+        trace_root, "--state-dir", str(state), "--cache-dir", str(cache)
+    )
+    try:
+        assert any("recovered 1 unfinished job" in l for l in restarted.banner)
+        data = restarted.wait_job(job_id, ("done", "failed"))
+        assert data["status"] == "done", data
+        assert data["recovered"] is True
+        status, result = restarted.request("GET", f"/v1/jobs/{job_id}/result")
+        assert status == 200
+        status, stats = restarted.request("GET", "/v1/stats")
+        assert stats["journal"]["recovered_total"] == 1
+        assert restarted.terminate() == 0
+    finally:
+        restarted.cleanup()
+    assert canonical_result(result["result"]) == run_clean_baseline(
+        trace_root, tmp_path
+    )
+
+
+def test_corrupt_journal_still_recovers(trace_root, tmp_path):
+    """Garbage lines and a torn tail cannot block recovery of the
+    intact records around them."""
+    state = tmp_path / "state"
+    body = {"spec": SPEC, "trace_path": "t.jsonl"}
+    j = JobJournal(state)
+    from repro.serve.journal import request_digest
+
+    j.append("submit", "j000001", kind="sweep", label="", request=body,
+             digest=request_digest(body))
+    j.append("start", "j000001")
+    j.close()
+    with open(state / "jobs.jsonl", "a") as fh:
+        fh.write("@@ disk corruption, not JSON @@\n")
+        fh.write('{"schema": 1, "op": "done", "job": "j00')  # torn tail
+
+    server = Server(trace_root, "--state-dir", str(state))
+    try:
+        assert any("recovered 1 unfinished job" in l for l in server.banner)
+        data = server.wait_job("j000001", ("done", "failed"))
+        assert data["status"] == "done", data
+        status, stats = server.request("GET", "/v1/stats")
+        replay = stats["journal"]["last_replay"]
+        assert replay["corrupt"] == 1
+        assert replay["truncated_tail"] is True
+        assert server.terminate() == 0
+    finally:
+        server.cleanup()
+    # The corrupt line was preserved for forensics, not destroyed.
+    assert "disk corruption" in (state / "jobs.quarantine.jsonl").read_text()
+
+
+def test_drain_timeout_interrupts_then_recovers(trace_root, tmp_path):
+    """SIGTERM with a job that outlives --drain-timeout: the server
+    still exits 0 promptly, journals the job interrupted, and the next
+    life finishes it."""
+    state = tmp_path / "state"
+    server = Server(
+        trace_root,
+        "--state-dir", str(state),
+        "--drain-timeout", "1",
+        chaos_slow_s=120,  # far beyond the drain budget
+    )
+    try:
+        status, job = server.request(
+            "POST", "/v1/sweeps", {"spec": SPEC, "trace_path": "t.jsonl"}
+        )
+        assert status == 202
+        job_id = job["job"]
+        server.wait_job(job_id, ("running",))
+        t0 = time.monotonic()
+        assert server.terminate(timeout=30) == 0  # bounded, despite the job
+        assert time.monotonic() - t0 < 20
+    finally:
+        server.cleanup()
+
+    ops = [
+        json.loads(line)["op"]
+        for line in (state / "jobs.jsonl").read_text().splitlines()
+    ]
+    assert ops == ["submit", "start", "interrupted"]
+
+    restarted = Server(trace_root, "--state-dir", str(state))
+    try:
+        assert restarted.wait_job(job_id, ("done", "failed"))["status"] == "done"
+        assert restarted.terminate() == 0
+    finally:
+        restarted.cleanup()
+
+
+def test_clean_shutdown_leaves_nothing_to_recover(trace_root, tmp_path):
+    """A drained SIGTERM journals terminal states; the next start
+    recovers zero jobs."""
+    state = tmp_path / "state"
+    server = Server(trace_root, "--state-dir", str(state))
+    try:
+        status, job = server.request(
+            "POST", "/v1/sweeps", {"spec": SPEC, "trace_path": "t.jsonl"}
+        )
+        assert status == 202
+        server.wait_job(job["job"], ("done",))
+        assert server.terminate() == 0
+    finally:
+        server.cleanup()
+
+    restarted = Server(trace_root, "--state-dir", str(state))
+    try:
+        assert not any("recovered" in l for l in restarted.banner)
+        status, stats = restarted.request("GET", "/v1/stats")
+        assert stats["journal"]["recovered_total"] == 0
+        assert restarted.terminate() == 0
+    finally:
+        restarted.cleanup()

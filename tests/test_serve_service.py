@@ -254,7 +254,10 @@ def test_job_result_before_done_is_409(service):
         gate.set()
 
 
-def test_queue_overflow_is_429(trace_root):
+def test_queue_overflow_sheds_503_with_retry_after(trace_root):
+    """A saturated queue sheds with 503 (429 is the rate limiter's)."""
+    from repro.serve.service import SHED_RETRY_AFTER_S
+
     svc = ExtrapService(trace_root=trace_root, cache=None, queue_depth=1, workers=1)
     try:
         gate = threading.Event()
@@ -269,8 +272,10 @@ def test_queue_overflow_is_429(trace_root):
         # The worker is busy; depth 1 admits exactly one queued sweep.
         svc.submit_sweep({"spec": SPEC, "trace_path": "t.jsonl"})
         e = err(svc.submit_sweep, {"spec": SPEC, "trace_path": "t.jsonl"})
-        assert e.status == 429
+        assert e.status == 503
         assert "retry" in e.message
+        assert e.retry_after == SHED_RETRY_AFTER_S
+        assert svc.stats()["admission"]["shed_total"] == 1
         gate.set()
     finally:
         svc.close(drain=False, timeout=10)
@@ -331,12 +336,80 @@ def test_job_queue_depth_limit():
     q.close(drain=True, timeout=30)
 
 
+def test_watchdog_fails_stalled_job_and_replaces_worker():
+    """A wedged job turns into a JobStalled failure, not a dead worker."""
+    q = JobQueue(depth=8, workers=1, job_budget=0.15)
+    gate = threading.Event()
+    try:
+        stuck = q.submit("test", gate.wait)
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline and stuck.status != "failed":
+            time.sleep(0.02)
+        assert stuck.status == "failed"
+        assert stuck.error_type == "JobStalled"
+        assert "wall budget" in stuck.error
+        # The replacement worker restores capacity: later jobs still run.
+        after = q.submit("test", lambda: "alive")
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline and after.status != "done":
+            time.sleep(0.02)
+        assert after.status == "done"
+        assert after.result == "alive"
+    finally:
+        gate.set()  # let the abandoned thread retire
+        q.close(drain=True, timeout=30)
+
+
+def test_watchdog_late_result_is_dropped():
+    """A job that finishes after being abandoned stays failed."""
+    q = JobQueue(depth=8, workers=1, job_budget=0.15)
+    gate = threading.Event()
+    try:
+        stuck = q.submit("test", lambda: (gate.wait(), "late")[1])
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline and stuck.status != "failed":
+            time.sleep(0.02)
+        assert stuck.status == "failed"
+        gate.set()  # the wedged fn now returns — too late
+        time.sleep(0.2)
+        assert stuck.status == "failed"
+        assert stuck.result is None
+    finally:
+        gate.set()
+        q.close(drain=True, timeout=30)
+
+
+def test_watchdog_leaves_fast_jobs_alone():
+    q = JobQueue(depth=8, workers=2, job_budget=5.0)
+    try:
+        jobs = [q.submit("test", lambda i=i: i) for i in range(4)]
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline and any(
+            j.status != "done" for j in jobs
+        ):
+            time.sleep(0.02)
+        assert [j.result for j in jobs] == [0, 1, 2, 3]
+    finally:
+        q.close(drain=True, timeout=30)
+
+
+def test_job_budget_validation():
+    with pytest.raises(ValueError):
+        JobQueue(depth=1, workers=1, job_budget=0)
+
+
 def test_stats_shape(service):
     stats = service.stats()
     assert stats["uptime_s"] >= 0
     assert set(stats["jobs"]) == {
-        "queued", "running", "done", "failed", "cancelled",
+        "queued", "running", "done", "failed", "cancelled", "interrupted",
         "queue_depth_limit", "run_seconds",
     }
+    assert stats["admission"] == {
+        "rate_limit": {"enabled": False},
+        "rate_limited_total": 0,
+        "shed_total": 0,
+    }
+    assert stats["journal"] == {"enabled": False}
     service.count_request("predict")
     assert service.stats()["requests"]["predict"] == 1
