@@ -5,11 +5,13 @@ Subcommands::
     extrap list                      # benchmarks, presets, experiments
     extrap trace  <bench> -n 8 -o t.jsonl [--size-mode actual]
     extrap predict <trace> --preset cm5 [--set processor.mips_ratio=0.5]
+    extrap predict <trace> --sample [--max-phases 8]  # SimPoint-style estimate
     extrap predict <trace> --timeline run.json   # record the simulation
     extrap timeline run.json --ascii             # render / convert it
     extrap timeline run.json --diagnose [--json] # anomaly report
     extrap predict <trace> --faults plan.json    # unreliable machine
     extrap validate <trace> [--no-global-barriers]  # structural checks
+    extrap validate <trace> --sample-report  # sampling plan, no simulation
     extrap validate <trace> --diagnose --faults plan.json  # detector check
     extrap report  <trace> --preset cm5      # full debugging report
     extrap study  <bench> --preset distributed_memory -p 1,2,4,8,16,32
@@ -154,6 +156,55 @@ def _resolve_params(args):
         return None, str(exc)
 
 
+def _add_sampling_flags(parser: argparse.ArgumentParser) -> None:
+    """The sampling knob set shared by ``predict`` and ``validate``."""
+    parser.add_argument(
+        "--max-phases",
+        type=int,
+        default=8,
+        metavar="K",
+        help="cluster count ceiling for --sample / --sample-report",
+    )
+    parser.add_argument(
+        "--interval-events",
+        type=int,
+        default=0,
+        metavar="N",
+        help="events per interval for barrier-less traces (0 = auto)",
+    )
+    parser.add_argument(
+        "--sample-seed",
+        type=int,
+        default=0,
+        metavar="SEED",
+        help="k-means seed; sampled output is byte-identical per seed",
+    )
+    parser.add_argument(
+        "--sample-mode",
+        choices=("auto", "barrier", "events"),
+        default="auto",
+        help="interval-splitting mode (auto = barriers when present)",
+    )
+
+
+def _sampling_config(args):
+    """``(SamplingConfig from the knob flags, None)`` or ``(None, error)``."""
+    from repro.sampling import SamplingConfig
+
+    try:
+        return (
+            SamplingConfig(
+                max_phases=args.max_phases,
+                interval_events=args.interval_events,
+                seed=args.sample_seed,
+                mode=args.sample_mode,
+            ),
+            None,
+        )
+    except ValueError as exc:
+        return None, str(exc)
+
+
 def cmd_list(_args) -> int:
     print("benchmarks:")
     for name, info in BENCHMARKS.items():
@@ -176,7 +227,7 @@ def cmd_trace(args) -> int:
     )
     try:
         path = write_trace(trace, args.output)
-    except OSError as exc:
+    except (OSError, ValueError) as exc:
         return _input_error(f"cannot write trace to {args.output}: {exc}")
     print(f"wrote {len(trace)} events for {args.n} threads to {path}")
     if trace.race_findings:
@@ -204,6 +255,37 @@ def cmd_predict(args) -> int:
         return _input_error(
             f"--wall-budget must be > 0, got {args.wall_budget}"
         )
+    if args.sample:
+        from repro.sampling import estimate_sampled, sampling_section
+
+        if args.timeline is not None:
+            return _input_error(
+                "--timeline records a full simulation; it cannot be "
+                "combined with --sample (drop one of the two)"
+            )
+        if args.profile:
+            return _input_error(
+                "--profile instruments a full simulation; it cannot be "
+                "combined with --sample (drop one of the two)"
+            )
+        config, problem = _sampling_config(args)
+        if problem:
+            return _input_error(problem)
+        log.info(
+            "sampled extrapolation of %s to %s",
+            args.trace, params.name or args.preset,
+        )
+        try:
+            outcome = estimate_sampled(
+                trace, params, config, wall_clock_budget=args.wall_budget
+            )
+        except SimulationStalled as exc:
+            return _input_error(str(exc))
+        except ValueError as exc:
+            return _input_error(str(exc))
+        print(predict_summary(params, outcome))
+        print(sampling_section(outcome.result))
+        return 0
     log.info(
         "extrapolating %s to %s", args.trace, params.name or args.preset
     )
@@ -338,6 +420,16 @@ def cmd_validate(args) -> int:
             f"{trace.meta.n_threads} threads)"
         )
         print(f"{args.trace}: sha256 {trace.digest()}")
+    if args.sample_report:
+        from repro.sampling import sample_report
+
+        config, problem = _sampling_config(args)
+        if problem:
+            return _input_error(problem)
+        try:
+            print(sample_report(trace, config))
+        except ValueError as exc:
+            return _input_error(str(exc))
     if not args.diagnose:
         return 0
     from repro.diagnose import diagnose
@@ -368,7 +460,20 @@ def cmd_bench(args) -> int:
         write_baseline,
     )
 
-    results = run_benchmarks(scale=args.scale, repeats=args.repeats)
+    if args.only:
+        from repro.perf.bench import WORKLOADS
+        from repro.sweep.spec import suggest
+
+        for name in args.only:
+            if name not in WORKLOADS:
+                return _input_error(
+                    f"unknown bench workload {name!r}"
+                    f"{suggest(name, sorted(WORKLOADS))}; "
+                    f"available: {', '.join(sorted(WORKLOADS))}"
+                )
+    results = run_benchmarks(
+        scale=args.scale, repeats=args.repeats, workloads=args.only
+    )
     baseline = None
     try:
         baseline = load_baseline(args.baseline)
@@ -522,6 +627,19 @@ def cmd_sweep(args) -> int:
         print(
             f"cache {s['root']}: {s['entries']} entries, {s['bytes']} bytes"
         )
+        if s["entries"]:
+            print(
+                f"  full simulations: {s['full_entries']}  "
+                f"sampled estimates: {s['sampled_entries']}"
+            )
+        if s["sampled_entries"]:
+            total = s["sampled_events_total"]
+            sim = s["sampled_events_simulated"]
+            saved = (total - sim) / total if total else 0.0
+            print(
+                f"  sampled entries simulated {sim} of {total} trace "
+                f"events ({saved:.1%} estimated compute saved)"
+            )
         return 0
     if args.sweep_command == "prune":
         removed = ResultCache(args.cache_dir).prune()
@@ -699,6 +817,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="abort with a stall diagnosis if the simulation runs longer "
         "than this many real seconds",
     )
+    p.add_argument(
+        "--sample",
+        action="store_true",
+        help="SimPoint-style sampled estimate: cluster the trace into "
+        "phases, simulate one representative interval per phase, and "
+        "reconstitute whole-run metrics with error bars "
+        "(see docs/SAMPLING.md)",
+    )
+    _add_sampling_flags(p)
 
     tl = sub.add_parser(
         "timeline",
@@ -796,6 +923,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="with --diagnose: emit only the report as deterministic JSON",
     )
+    va.add_argument(
+        "--sample-report",
+        action="store_true",
+        help="print the sampling plan (intervals, chosen k, phase weights, "
+        "representative interval ids) without simulating anything",
+    )
+    _add_sampling_flags(va)
 
     b = sub.add_parser(
         "bench", help="run the engine benchmark harness (BENCH_engine.json)"
@@ -812,6 +946,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--update-baseline",
         action="store_true",
         help="rewrite the baseline file in place with this run's results",
+    )
+    b.add_argument(
+        "--only",
+        action="append",
+        metavar="WORKLOAD",
+        help="restrict to specific workloads (repeatable)",
     )
 
     m = sub.add_parser("machine", help="run a benchmark on the reference CM-5")

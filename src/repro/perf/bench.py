@@ -13,7 +13,10 @@ Six seeded reference workloads exercise the layers of the hot path:
   in-process :mod:`repro.serve` server (memoized requests/s over HTTP);
 * ``diagnose`` — repeated :func:`repro.diagnose.diagnose` passes over
   one observed replay's timeline (spans scanned/s through the
-  per-processor span index).
+  per-processor span index);
+* ``sampling`` — SimPoint-style sampled extrapolation vs the full
+  simulation of one matmul trace (speedup × relative error through
+  :func:`repro.sampling.estimate_sampled`).
 
 :func:`run_benchmarks` times each (best of N repeats) and
 :func:`write_baseline` persists the result as ``BENCH_engine.json`` so
@@ -216,6 +219,47 @@ def diagnose_passes(n_passes: int = 32) -> dict:
     }
 
 
+def sampling_estimate(n_threads: int = 8) -> dict:
+    """Sampled vs full extrapolation of one matmul trace.
+
+    Times one full simulation and one sampled estimate of the same
+    trace inside the workload body, so ``best_s`` covers both and the
+    record carries the interesting ratios: ``speedup`` (full simulation
+    seconds / sampled estimate seconds, clustering included) and
+    ``rel_error`` (sampled vs full predicted time).  Events/s counts
+    the trace events covered by the pair of runs.
+    """
+    from repro.bench.suite import get_benchmark
+    from repro.core import presets
+    from repro.core.pipeline import extrapolate, measure
+    from repro.sampling import SamplingConfig, estimate_sampled
+
+    trace = measure(
+        get_benchmark("matmul").make_program()(n_threads),
+        n_threads,
+        name="matmul",
+    )
+    params = presets.distributed_memory()
+    t0 = time.perf_counter()
+    full = extrapolate(trace, params)
+    full_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    sampled = estimate_sampled(trace, params, SamplingConfig(seed=0))
+    sampled_s = time.perf_counter() - t0
+    rel_error = (
+        abs(sampled.predicted_time - full.predicted_time) / full.predicted_time
+        if full.predicted_time
+        else 0.0
+    )
+    return {
+        "events": 2 * len(trace.events),
+        "speedup": full_s / sampled_s if sampled_s > 0 else None,
+        "rel_error": rel_error,
+        "events_simulated": sampled.events_simulated,
+        "events_total": len(trace.events),
+    }
+
+
 #: name -> (workload(scaled_size) -> processed event count, base size).
 #: A workload may instead return a dict with an ``"events"`` key plus
 #: extra metrics to merge into its results record.
@@ -226,6 +270,7 @@ WORKLOADS: Dict[str, tuple] = {
     "sweep": (sweep_points, 8),
     "serve": (serve_requests, 32),
     "diagnose": (diagnose_passes, 32),
+    "sampling": (sampling_estimate, 16),
 }
 
 
@@ -251,7 +296,7 @@ def run_benchmarks(
     # structure is its workload, and the sweep/serve fixed overhead
     # (trace measurement, the cold first request) would otherwise
     # dominate at small sizes.
-    fixed_shape = ("simulator", "sweep", "serve", "diagnose")
+    fixed_shape = ("simulator", "sweep", "serve", "diagnose", "sampling")
     for name, (fn, base_size) in selected.items():
         size = base_size if name in fixed_shape else max(1, int(base_size * scale))
         fn(size)  # warm-up run (imports, allocator)
@@ -316,6 +361,11 @@ def format_results(results: dict, baseline: dict | None = None) -> str:
             line += f"  ({rate / ref:.2f}x baseline)"
         if "cache_hit_rate" in r:
             line += f"  [warm hit rate {r['cache_hit_rate']:.0%}]"
+        if "speedup" in r and r["speedup"] is not None:
+            line += (
+                f"  [sampled {r['speedup']:.1f}x faster, "
+                f"rel err {r['rel_error']:.2%}]"
+            )
         lines.append(line)
     return "\n".join(lines)
 

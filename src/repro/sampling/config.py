@@ -1,0 +1,117 @@
+"""Sampling knobs.
+
+:class:`SamplingConfig` is the complete, canonicalisable description of
+a sampling run: it is hashed into sweep/serve cache keys (so sampled
+and full results can never collide) and round-trips through the
+``"sample"`` field of serve's ``POST /v1/predict``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping
+
+#: Interval-splitting modes.  ``auto`` uses barrier-delimited intervals
+#: when the trace has barriers and falls back to fixed-event-count
+#: chunks otherwise.
+MODES = ("auto", "barrier", "events")
+
+#: Fixed-event-count chunk size used in events mode when
+#: ``interval_events`` is 0 (= auto).
+DEFAULT_INTERVAL_EVENTS = 2048
+
+_KEYS = ("interval_events", "max_phases", "mode", "seed")
+
+
+@dataclass(frozen=True)
+class SamplingConfig:
+    """How to split, cluster, and sample a trace.
+
+    Attributes
+    ----------
+    max_phases:
+        Upper bound on the number of clusters (the ``k`` chosen by the
+        BIC-style score never exceeds it).
+    interval_events:
+        Events per interval in ``events`` mode; 0 picks
+        :data:`DEFAULT_INTERVAL_EVENTS`.  Ignored in ``barrier`` mode.
+    seed:
+        Seed for the k-means initialisation.  The whole pipeline is
+        byte-deterministic for a fixed seed.
+    mode:
+        One of :data:`MODES`.
+    """
+
+    max_phases: int = 8
+    interval_events: int = 0
+    seed: int = 0
+    mode: str = "auto"
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise ValueError(
+                f"unknown sampling mode {self.mode!r}; expected one of "
+                + ", ".join(MODES)
+            )
+        if self.max_phases < 1:
+            raise ValueError(f"max_phases must be >= 1, got {self.max_phases}")
+        if self.interval_events < 0:
+            raise ValueError(
+                f"interval_events must be >= 0, got {self.interval_events}"
+            )
+
+    def effective_interval_events(self) -> int:
+        """Chunk size to use in events mode."""
+        return self.interval_events or DEFAULT_INTERVAL_EVENTS
+
+    def canonical_dict(self) -> Dict[str, Any]:
+        """Stable key-sorted dict — the cache-key material.
+
+        Two configs with equal canonical dicts always produce
+        byte-identical sampled results for the same trace/params.
+        """
+        return {
+            "interval_events": self.interval_events,
+            "max_phases": self.max_phases,
+            "mode": self.mode,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "SamplingConfig":
+        """Build from a JSON object, rejecting unknown keys with a
+        did-you-mean hint and type errors with the offending key named.
+
+        Raises :class:`ValueError` (so CLI/serve callers can fold it
+        into their exit-2 / 400 paths).
+        """
+        if not isinstance(d, Mapping):
+            raise ValueError(
+                f"sample config must be an object, got {type(d).__name__}"
+            )
+        for key in d:
+            if key not in _KEYS:
+                from repro.sweep.spec import suggest
+
+                hint = suggest(str(key), _KEYS)
+                raise ValueError(
+                    f"unknown sample config key {key!r}{hint}; "
+                    f"known keys: {', '.join(_KEYS)}"
+                )
+        kwargs: Dict[str, Any] = {}
+        for key in ("max_phases", "interval_events", "seed"):
+            if key in d:
+                value = d[key]
+                if isinstance(value, bool) or not isinstance(value, int):
+                    raise ValueError(
+                        f"sample config key {key!r} must be an integer, "
+                        f"got {value!r}"
+                    )
+                kwargs[key] = value
+        if "mode" in d:
+            if not isinstance(d["mode"], str):
+                raise ValueError(
+                    f"sample config key 'mode' must be a string, got {d['mode']!r}"
+                )
+            kwargs["mode"] = d["mode"]
+        return cls(**kwargs)

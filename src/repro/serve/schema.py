@@ -130,6 +130,9 @@ class PredictRequest:
     trace_path: Optional[str] = None
     wall_budget: Optional[float] = None
     diagnose: bool = False
+    #: validated ``repro.sampling.SamplingConfig``, or None for a full
+    #: simulation
+    sample: Optional[Any] = None
 
 
 #: keys a predict request may carry
@@ -140,6 +143,7 @@ PREDICT_KEYS = (
     "overrides",
     "wall_budget",
     "diagnose",
+    "sample",
 )
 
 
@@ -166,6 +170,20 @@ def validate_predict_request(body: Any) -> PredictRequest:
     diagnose = body.get("diagnose", False)
     if not isinstance(diagnose, bool):
         raise bad_request(f"'diagnose' must be a boolean, got {diagnose!r}")
+    sample = None
+    if body.get("sample") is not None:
+        from repro.sampling import SamplingConfig
+
+        raw = expect_object(body["sample"], "'sample'")
+        try:
+            sample = SamplingConfig.from_dict(raw)
+        except ValueError as exc:
+            raise bad_request(f"bad 'sample' config: {exc}") from None
+        if diagnose:
+            raise bad_request(
+                "'diagnose' records a full simulation timeline; it cannot "
+                "be combined with 'sample' (drop one of the two)"
+            )
     return PredictRequest(
         preset=preset,
         overrides=overrides,
@@ -173,6 +191,7 @@ def validate_predict_request(body: Any) -> PredictRequest:
         trace_path=path,
         wall_budget=wall_budget,
         diagnose=diagnose,
+        sample=sample,
     )
 
 

@@ -363,30 +363,55 @@ class ExtrapService:
         except ValueError as exc:
             raise bad_request(str(exc)) from None
         digest = trace.digest()
-        # A diagnosed payload carries extra content, so it caches under
-        # its own namespace — a plain predict can never replay a
-        # diagnosis-shaped entry or vice versa.
-        extra = (
-            {**PREDICT_CACHE_EXTRA, "diagnose": 1}
-            if req.diagnose
-            else PREDICT_CACHE_EXTRA
-        )
+        # A diagnosed payload carries extra content, and a sampled one
+        # is an estimate, so each caches under its own namespace — a
+        # plain predict can never replay a diagnosis- or sample-shaped
+        # entry or vice versa (and two different sampling configs never
+        # answer each other either).
+        if req.sample is not None:
+            extra = {
+                **PREDICT_CACHE_EXTRA,
+                "sampling": req.sample.canonical_dict(),
+            }
+        elif req.diagnose:
+            extra = {**PREDICT_CACHE_EXTRA, "diagnose": 1}
+        else:
+            extra = PREDICT_CACHE_EXTRA
         key = result_key(digest, params, extra=extra)
         payload = self.cache.get(key) if self.cache is not None else None
         cached = payload is not None
         if payload is None:
             try:
-                outcome = extrapolate(
-                    trace,
-                    params,
-                    observe=req.diagnose,
-                    wall_clock_budget=self._clamp_budget(req.wall_budget),
-                )
+                if req.sample is not None:
+                    from repro.sampling import (
+                        estimate_sampled,
+                        sampling_section,
+                    )
+
+                    outcome = estimate_sampled(
+                        trace,
+                        params,
+                        req.sample,
+                        wall_clock_budget=self._clamp_budget(req.wall_budget),
+                    )
+                else:
+                    outcome = extrapolate(
+                        trace,
+                        params,
+                        observe=req.diagnose,
+                        wall_clock_budget=self._clamp_budget(req.wall_budget),
+                    )
             except SimulationStalled as exc:
                 raise ApiError(504, str(exc)) from None
+            except ValueError as exc:
+                # e.g. a zero-event trace cannot be sampled
+                raise bad_request(str(exc)) from None
+            report = predict_summary(params, outcome)
+            if req.sample is not None:
+                report += "\n" + sampling_section(outcome.result)
             body_out = {
                 "metrics": result_record(outcome),
-                "report": predict_summary(params, outcome),
+                "report": report,
             }
             if req.diagnose:
                 from repro.diagnose import diagnose

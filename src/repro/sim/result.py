@@ -123,6 +123,15 @@ class SimulationResult:
     #: injected-fault counters; set when the simulation ran under a
     #: non-null fault plan (see :mod:`repro.faults`)
     faults: Optional["FaultStats"] = None
+    #: True when this result was *reconstituted* from representative
+    #: intervals rather than simulated end-to-end (see
+    #: :mod:`repro.sampling`); metrics are weight-combined estimates
+    #: with error bars in :attr:`sampling`.
+    estimated: bool = False
+    #: sampling plan, cluster weights, and per-metric error bars for an
+    #: estimated result (see :func:`repro.sampling.estimate_sampled`);
+    #: None for an exact, fully-simulated result
+    sampling: Optional[Dict[str, object]] = None
 
     @property
     def n_processors(self) -> int:
@@ -193,9 +202,11 @@ class SimulationResult:
 
     def summary(self) -> str:
         """One-line summary of the prediction."""
+        marker = " [sampled estimate]" if self.estimated else ""
         return (
             f"{self.meta.program or 'program'} on {self.n_processors} procs "
             f"({self.params.name}): predicted time {self.execution_time:.1f} us, "
             f"utilization {self.utilization():.2%}, "
             f"{self.network.messages} messages / {self.network.bytes} bytes"
+            f"{marker}"
         )

@@ -106,11 +106,19 @@ class ResultCache:
     def put(self, key: str, result: Mapping[str, Any]) -> Path:
         """Store ``result`` under ``key`` (atomic replace)."""
         path = self.path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
         entry = {"schema": CACHE_SCHEMA, "key": key, "result": dict(result)}
-        return atomic_write_text(
-            path, json.dumps(entry, sort_keys=True, separators=(",", ":")) + "\n"
-        )
+        text = json.dumps(entry, sort_keys=True, separators=(",", ":")) + "\n"
+        # A racing prune() tidies empty fan-out directories with rmdir,
+        # which can land between our mkdir and the temp-file open —
+        # recreate the directory and try again.
+        last_miss: Optional[FileNotFoundError] = None
+        for _ in range(100):
+            path.parent.mkdir(parents=True, exist_ok=True)
+            try:
+                return atomic_write_text(path, text)
+            except FileNotFoundError as exc:
+                last_miss = exc
+        raise last_miss
 
     # -- maintenance ---------------------------------------------------------
 
@@ -141,14 +149,47 @@ class ResultCache:
                 yield path
 
     def stats(self) -> Dict[str, Any]:
-        """Entry count and total size of the cache on disk."""
+        """Entry count/size plus the sampled-vs-full breakdown.
+
+        Sampled entries (results carrying ``estimated: true``) also
+        report how many trace events their estimates simulated versus
+        the full traces' totals — the basis of the "estimated compute
+        saved" line in ``extrap sweep stats``.  Unreadable entries count
+        toward ``entries``/``bytes`` but not the breakdown.
+        """
         entries = 0
         total = 0
+        sampled = 0
+        full = 0
+        events_total = 0
+        events_simulated = 0
         for path in self._entries():
             with contextlib.suppress(OSError):
                 total += path.stat().st_size
                 entries += 1
-        return {"root": str(self.root), "entries": entries, "bytes": total}
+                with contextlib.suppress(ValueError):
+                    doc = json.loads(path.read_text(encoding="utf-8"))
+                    result = doc.get("result")
+                    if not isinstance(result, dict):
+                        continue
+                    if result.get("estimated"):
+                        sampled += 1
+                        info = result.get("sampling") or {}
+                        events_total += int(info.get("events_total") or 0)
+                        events_simulated += int(
+                            info.get("events_simulated") or 0
+                        )
+                    else:
+                        full += 1
+        return {
+            "root": str(self.root),
+            "entries": entries,
+            "bytes": total,
+            "full_entries": full,
+            "sampled_entries": sampled,
+            "sampled_events_total": events_total,
+            "sampled_events_simulated": events_simulated,
+        }
 
     def prune(self) -> int:
         """Delete every cache entry; returns how many were removed."""

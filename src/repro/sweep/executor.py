@@ -265,16 +265,23 @@ class _PointTask:
     point: SweepPoint
     base_preset: str
     wall_budget: Optional[float] = None
+    #: when set, the point is answered by a SimPoint-style sampled
+    #: estimate (:func:`repro.sampling.estimate_sampled`) instead of a
+    #: full simulation
+    sample: Optional[Any] = None
 
 
 def result_record(outcome) -> Dict[str, Any]:
     """The JSON-safe extrapolation metrics payload.
 
     Shared vocabulary between the sweep cache, sweep artifacts and the
-    serve API's ``metrics`` object — one schema, one place.
+    serve API's ``metrics`` object — one schema, one place.  Sampled
+    estimates additionally carry ``estimated: true`` plus a ``sampling``
+    summary (config, chosen k, events simulated, error bars), so an
+    estimate can never be mistaken for an exact result downstream.
     """
     r = outcome.result
-    return {
+    record = {
         "predicted_time_us": r.execution_time,
         "ideal_time_us": outcome.ideal_time,
         "utilization": r.utilization(),
@@ -286,12 +293,35 @@ def result_record(outcome) -> Dict[str, Any]:
         "barrier_count": r.barrier_count,
         "n_threads": r.meta.n_threads,
     }
+    if getattr(r, "estimated", False):
+        info = r.sampling or {}
+        plan = info.get("plan", {})
+        record["estimated"] = True
+        record["sampling"] = {
+            "config": info.get("config"),
+            "mode": plan.get("mode"),
+            "k": plan.get("k"),
+            "n_intervals": plan.get("n_intervals"),
+            "events_total": info.get("events_total"),
+            "events_simulated": info.get("events_simulated"),
+            "error_bars": info.get("error_bars"),
+        }
+    return record
 
 
 def _sweep_point_worker(task: _PointTask) -> Dict[str, Any]:
     trace = _WORKER_TRACES[task.trace_ref]
     params = task.point.params(task.base_preset)
-    outcome = extrapolate(trace, params, wall_clock_budget=task.wall_budget)
+    if task.sample is not None:
+        from repro.sampling import estimate_sampled
+
+        outcome = estimate_sampled(
+            trace, params, task.sample, wall_clock_budget=task.wall_budget
+        )
+    else:
+        outcome = extrapolate(
+            trace, params, wall_clock_budget=task.wall_budget
+        )
     return result_record(outcome)
 
 
@@ -357,6 +387,8 @@ class SweepRun:
             "preset": self.spec.preset,
             "points": points,
         }
+        if self.spec.sample is not None:
+            doc["sample"] = self.spec.sample.canonical_dict()
         return json.dumps(doc, indent=2, sort_keys=True) + "\n"
 
 
@@ -442,17 +474,28 @@ def run_sweep(
     keys: List[Optional[str]] = [None] * len(points)
     tasks: List[_PointTask] = []
     task_indices: List[int] = []
+    # Sampled points cache under sampling-aware keys, so a sampled and
+    # a full run of the same point can never answer each other.
+    key_extra = (
+        {"sampling": spec.sample.canonical_dict()}
+        if spec.sample is not None
+        else None
+    )
     for i, point in enumerate(points):
         ref = trace_for(point)
         if cache is not None:
-            key = result_key(digests[ref], point.params(spec.preset))
+            key = result_key(
+                digests[ref], point.params(spec.preset), extra=key_extra
+            )
             keys[i] = key
             hit = cache.get(key)
             if hit is not None:
                 records[i].result = hit
                 records[i].cached = True
                 continue
-        tasks.append(_PointTask(ref, point, spec.preset, wall_budget))
+        tasks.append(
+            _PointTask(ref, point, spec.preset, wall_budget, spec.sample)
+        )
         task_indices.append(i)
     if cache is not None:
         counters.cache_hits = cache.hits - hits0

@@ -21,6 +21,12 @@ Axis / override keys:
   re-measures the program, so it is rejected when sweeping a fixed
   trace).
 
+A spec may also carry a top-level ``"sample"`` object (a
+:class:`repro.sampling.SamplingConfig`): every point is then answered
+with a SimPoint-style sampled estimate instead of a full simulation,
+and cache keys include the sampling config so sampled and full results
+never collide.
+
 Example spec (JSON)::
 
     {
@@ -243,6 +249,7 @@ class SweepSpec:
         benchmark: Optional[str] = None,
         n_threads: int = 8,
         size_mode: str = "compiler",
+        sample: Optional[Mapping[str, Any]] = None,
     ):
         if (grid is None) == (points is None):
             raise ValueError("a sweep spec needs exactly one of 'grid' or 'points'")
@@ -263,6 +270,17 @@ class SweepSpec:
         self.benchmark = benchmark
         self.n_threads = int(n_threads)
         self.size_mode = size_mode
+        self.sample = None
+        if sample is not None:
+            from repro.sampling import SamplingConfig
+
+            if isinstance(sample, SamplingConfig):
+                self.sample = sample
+            else:
+                try:
+                    self.sample = SamplingConfig.from_dict(sample)
+                except ValueError as exc:
+                    raise ValueError(f"bad 'sample' config: {exc}") from None
         self.grid: Optional[Dict[str, List[Any]]] = None
         self.points_raw: Optional[List[Dict[str, Any]]] = None
         if grid is not None:
@@ -341,6 +359,8 @@ class SweepSpec:
             d["benchmark"] = self.benchmark
         d["n_threads"] = self.n_threads
         d["size_mode"] = self.size_mode
+        if self.sample is not None:
+            d["sample"] = self.sample.canonical_dict()
         return d
 
     @classmethod
@@ -357,6 +377,7 @@ class SweepSpec:
             "benchmark",
             "n_threads",
             "size_mode",
+            "sample",
         }
         unknown = set(data) - known
         if unknown:
@@ -374,6 +395,7 @@ class SweepSpec:
             benchmark=data.get("benchmark"),
             n_threads=data.get("n_threads", 8),
             size_mode=data.get("size_mode", "compiler"),
+            sample=data.get("sample"),
         )
 
     @classmethod

@@ -17,8 +17,16 @@ Submodules:
 """
 
 from repro.trace.events import EventKind, TraceEvent
-from repro.trace.trace import ThreadTrace, Trace, TraceMeta
-from repro.trace.io import TraceReadError, read_trace, write_trace
+from repro.trace.trace import ThreadTrace, Trace, TraceMeta, digest_events
+from repro.trace.io import (
+    TraceReadError,
+    iter_trace_events,
+    read_trace,
+    read_trace_meta,
+    stream_trace,
+    streaming_digest,
+    write_trace,
+)
 from repro.trace.stats import TraceStats, compute_stats
 from repro.trace.validate import TraceValidationError, validate_trace
 
@@ -28,8 +36,13 @@ __all__ = [
     "ThreadTrace",
     "Trace",
     "TraceMeta",
+    "digest_events",
     "TraceReadError",
+    "iter_trace_events",
     "read_trace",
+    "read_trace_meta",
+    "stream_trace",
+    "streaming_digest",
     "write_trace",
     "TraceStats",
     "compute_stats",

@@ -64,6 +64,29 @@ class TraceMeta:
         )
 
 
+def digest_events(meta: TraceMeta, events: Iterable[TraceEvent]) -> str:
+    """SHA-256 over trace metadata + an event stream (hex).
+
+    The single source of trace content addressing: :meth:`Trace.digest`
+    calls it with the in-memory event list, and the streaming readers
+    (:func:`repro.trace.io.streaming_digest`) call it with a generator,
+    so a million-event compressed file hashes without materializing —
+    and always equals the digest of the fully-loaded trace.
+    """
+    h = hashlib.sha256()
+    h.update(json.dumps(dict(meta.to_dict()), sort_keys=True).encode("utf-8"))
+    for ev in events:
+        # repr() of a float is exact round-trip text, so equal
+        # timestamps always hash equally.
+        h.update(
+            (
+                f"\n{ev.time!r}|{ev.thread}|{int(ev.kind)}|{ev.barrier_id}"
+                f"|{ev.owner}|{ev.nbytes}|{ev.collection}|{ev.tag}"
+            ).encode("utf-8")
+        )
+    return h.hexdigest()
+
+
 class Trace:
     """Merged event stream of one n-thread, 1-processor run."""
 
@@ -123,25 +146,14 @@ class Trace:
         Hashes the metadata (canonical sorted-key JSON) and every event
         field through an encoding independent of the on-disk format, so
         a trace has the same digest whether it was just measured, read
-        from ``.jsonl``, or read from ``.bin``.  Used as the trace part
-        of sweep cache keys (:mod:`repro.sweep.cache`) and reported by
-        ``extrap validate``.  ``race_findings`` are in-memory
-        diagnostics and do not participate.
+        from ``.jsonl``, or read from ``.bin`` (compressed or not; see
+        :func:`repro.trace.io.streaming_digest` for the one-pass file
+        form).  Used as the trace part of sweep cache keys
+        (:mod:`repro.sweep.cache`) and reported by ``extrap validate``.
+        ``race_findings`` are in-memory diagnostics and do not
+        participate.
         """
-        h = hashlib.sha256()
-        h.update(
-            json.dumps(dict(self.meta.to_dict()), sort_keys=True).encode("utf-8")
-        )
-        for ev in self.events:
-            # repr() of a float is exact round-trip text, so equal
-            # timestamps always hash equally.
-            h.update(
-                (
-                    f"\n{ev.time!r}|{ev.thread}|{int(ev.kind)}|{ev.barrier_id}"
-                    f"|{ev.owner}|{ev.nbytes}|{ev.collection}|{ev.tag}"
-                ).encode("utf-8")
-            )
-        return h.hexdigest()
+        return digest_events(self.meta, self.events)
 
     @classmethod
     def from_thread_traces(

@@ -164,6 +164,7 @@ def test_bench_update_baseline(tmp_path, capsys, monkeypatch):
     assert data["schema"] == 1
     assert set(data["workloads"]) == {
         "timeout_chain", "pingpong", "simulator", "sweep", "serve", "diagnose",
+        "sampling",
     }
     # Second run compares against it, then rewrites in place.
     assert main(args) == 0

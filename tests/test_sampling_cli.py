@@ -1,0 +1,118 @@
+"""extrap predict --sample / validate --sample-report / sweep stats."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def trace_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("sampling-cli") / "m.jsonl.gz"
+    assert main(["trace", "matmul", "-n", "8", "-o", str(path)]) == 0
+    return path
+
+
+def test_predict_sample(trace_path, capsys):
+    assert main(["predict", str(trace_path), "--sample"]) == 0
+    out = capsys.readouterr().out
+    assert "[sampled estimate]" in out
+    assert "sampling:" in out
+    assert "events simulated:" in out
+    assert "+/-" in out  # error bars
+
+
+def test_predict_sample_deterministic(trace_path, capsys):
+    assert main(["predict", str(trace_path), "--sample", "--sample-seed", "5"]) == 0
+    first = capsys.readouterr().out
+    assert main(["predict", str(trace_path), "--sample", "--sample-seed", "5"]) == 0
+    assert capsys.readouterr().out == first
+
+
+def test_predict_sample_rejects_timeline(trace_path, tmp_path, capsys):
+    out = str(tmp_path / "tl.json")
+    assert main(["predict", str(trace_path), "--sample", "--timeline", out]) == 2
+    err = capsys.readouterr().err
+    assert "extrap: error:" in err and "Traceback" not in err
+
+
+def test_predict_sample_rejects_profile(trace_path, capsys):
+    assert main(["predict", str(trace_path), "--sample", "--profile"]) == 2
+    err = capsys.readouterr().err
+    assert "extrap: error:" in err
+
+
+def test_predict_bad_sample_mode(trace_path, capsys):
+    # argparse rejects the choice itself (usage + exit 2)
+    with pytest.raises(SystemExit) as ei:
+        main(["predict", str(trace_path), "--sample", "--sample-mode", "nope"])
+    assert ei.value.code == 2
+    err = capsys.readouterr().err
+    assert "invalid choice" in err
+
+
+def test_trace_unknown_suffix_chain_exits_2(tmp_path, capsys):
+    """Write side: bad suffix chain is a one-line exit-2, no traceback."""
+    out = tmp_path / "x.csv.gz"
+    assert main(["trace", "grid", "-n", "2", "-o", str(out)]) == 2
+    err = capsys.readouterr().err
+    assert "extrap: error:" in err and ".csv.gz" in err
+
+
+def test_predict_unknown_suffix_chain_exits_2(trace_path, tmp_path, capsys):
+    """Read side: compression suffix over an unknown format names the chain."""
+    bad = tmp_path / "m.jsonl.zip"
+    bad.write_bytes(trace_path.read_bytes())
+    assert main(["predict", str(bad)]) == 2
+    err = capsys.readouterr().err
+    assert "extrap: error:" in err and ".jsonl.zip" in err
+
+
+def test_validate_sample_report(trace_path, capsys):
+    assert main(["validate", str(trace_path), "--sample-report"]) == 0
+    out = capsys.readouterr().out
+    assert "chosen k:" in out
+    assert "intervals:" in out
+    assert "representative" in out
+    assert "weight" in out
+
+
+def test_validate_sample_report_compressed_equals_plain(trace_path, tmp_path, capsys):
+    """The report sees through compression: same plan either way."""
+    import gzip
+
+    plain = tmp_path / "m.jsonl"
+    plain.write_bytes(gzip.decompress(trace_path.read_bytes()))
+    assert main(["validate", str(trace_path), "--sample-report"]) == 0
+    compressed_out = capsys.readouterr().out
+    assert main(["validate", str(plain), "--sample-report"]) == 0
+    plain_out = capsys.readouterr().out
+    # Everything after the per-file header (path + sha) is identical.
+    tail = lambda s: s.split("sampling plan:", 1)[1]
+    assert tail(compressed_out) == tail(plain_out)
+
+
+def test_sweep_stats_sampled_breakdown(trace_path, tmp_path, capsys):
+    spec = tmp_path / "spec.json"
+    spec.write_text(
+        json.dumps(
+            {
+                "name": "s",
+                "preset": "cm5",
+                "grid": {"network.hop_time": [0.5, 1.0]},
+                "sample": {"seed": 0, "max_phases": 8},
+            }
+        )
+    )
+    cache = tmp_path / "cache"
+    args = ["--trace", str(trace_path), "--cache-dir", str(cache)]
+    assert (
+        main(["sweep", "run", str(spec), *args, "-o", str(tmp_path / "r.json")]) == 0
+    )
+    capsys.readouterr()
+    assert main(["sweep", "stats", "--cache-dir", str(cache)]) == 0
+    out = capsys.readouterr().out
+    assert "sampled estimates: 2" in out
+    assert "full simulations: 0" in out
+    assert "estimated compute saved" in out

@@ -1,0 +1,85 @@
+"""Serve API: the `sample` field on POST /v1/predict."""
+
+import pytest
+
+from repro.cli import main
+from repro.serve import ApiError, ExtrapService
+from repro.sweep.cache import ResultCache
+
+
+@pytest.fixture(scope="module")
+def trace_root(tmp_path_factory):
+    root = tmp_path_factory.mktemp("serve-sampling")
+    assert main(["trace", "matmul", "-n", "8", "-o", str(root / "m.jsonl.gz")]) == 0
+    return root
+
+
+@pytest.fixture
+def service(trace_root, tmp_path):
+    svc = ExtrapService(
+        trace_root=trace_root,
+        cache=ResultCache(tmp_path / "cache"),
+        queue_depth=2,
+        workers=1,
+    )
+    yield svc
+    svc.close(drain=False, timeout=10)
+
+
+def err(fn, *args):
+    with pytest.raises(ApiError) as ei:
+        fn(*args)
+    return ei.value
+
+
+def test_sampled_predict_marked_and_cached(service):
+    body = {"trace_path": "m.jsonl.gz", "sample": {"seed": 0}}
+    first = service.predict(body)
+    assert first["cached"] is False
+    assert first["metrics"]["estimated"] is True
+    sampling = first["metrics"]["sampling"]
+    assert sampling["events_simulated"] < sampling["events_total"]
+    assert "sampling:" in first["report"]
+    second = service.predict(body)
+    assert second["cached"] is True
+    assert second["metrics"] == first["metrics"]
+    assert second["report"] == first["report"]
+
+
+def test_sampled_key_differs_from_full(service):
+    full = service.predict({"trace_path": "m.jsonl.gz"})
+    sampled = service.predict({"trace_path": "m.jsonl.gz", "sample": {}})
+    reseeded = service.predict(
+        {"trace_path": "m.jsonl.gz", "sample": {"seed": 1}}
+    )
+    keys = {full["key"], sampled["key"], reseeded["key"]}
+    assert len(keys) == 3
+    assert "estimated" not in full["metrics"]
+
+
+def test_full_predict_after_sampled_not_served_sampled(service):
+    service.predict({"trace_path": "m.jsonl.gz", "sample": {}})
+    full = service.predict({"trace_path": "m.jsonl.gz"})
+    assert full["cached"] is False
+    assert "estimated" not in full["metrics"]
+
+
+def test_bad_sample_key_suggests(service):
+    e = err(service.predict, {"trace_path": "m.jsonl.gz", "sample": {"seeed": 1}})
+    assert e.status == 400
+    assert "seeed" in e.message and "seed" in e.message
+
+
+def test_sample_must_be_object(service):
+    e = err(service.predict, {"trace_path": "m.jsonl.gz", "sample": 5})
+    assert e.status == 400
+    assert "object" in e.message
+
+
+def test_sample_diagnose_conflict(service):
+    e = err(
+        service.predict,
+        {"trace_path": "m.jsonl.gz", "sample": {}, "diagnose": True},
+    )
+    assert e.status == 400
+    assert "diagnose" in e.message and "sample" in e.message

@@ -1,0 +1,149 @@
+"""Compressed trace I/O: transparent .gz/.bz2/.xz for both formats."""
+
+import bz2
+import gzip
+import lzma
+
+import pytest
+
+from repro.trace.io import (
+    TraceFileWriter,
+    iter_trace_events,
+    read_trace,
+    read_trace_meta,
+    stream_trace,
+    streaming_digest,
+    trace_format,
+    write_trace,
+)
+from repro.trace.events import EventKind, TraceEvent
+from repro.trace.trace import Trace, TraceMeta
+
+
+def sample_trace():
+    return Trace(
+        TraceMeta(program="demo", n_threads=2, size_mode="actual", problem={"k": 1}),
+        [
+            TraceEvent(0.0, 0, EventKind.THREAD_BEGIN),
+            TraceEvent(1.5, 0, EventKind.REMOTE_READ, owner=1, nbytes=128, collection="grid"),
+            TraceEvent(2.0, 0, EventKind.BARRIER_ENTER, barrier_id=0),
+            TraceEvent(2.5, 1, EventKind.MARK, tag="phase-1"),
+            TraceEvent(3.0, 0, EventKind.THREAD_END),
+        ],
+    )
+
+
+FORMATS = (".jsonl", ".bin")
+COMPRESSIONS = (".gz", ".bz2", ".xz")
+
+
+@pytest.mark.parametrize("fmt", FORMATS)
+@pytest.mark.parametrize("comp", COMPRESSIONS)
+def test_compressed_roundtrip_digest_equality(tmp_path, fmt, comp):
+    tr = sample_trace()
+    plain = write_trace(tr, tmp_path / f"t{fmt}")
+    packed = write_trace(tr, tmp_path / f"t{fmt}{comp}")
+    assert read_trace(plain).events == read_trace(packed).events
+    assert read_trace(packed).digest() == tr.digest()
+    # The compressed file actually is compressed (format-specific magic).
+    magic = {".gz": b"\x1f\x8b", ".bz2": b"BZh", ".xz": b"\xfd7zXZ"}[comp]
+    assert packed.read_bytes()[: len(magic)] == magic
+
+
+@pytest.mark.parametrize("comp", COMPRESSIONS)
+def test_streaming_digest_equals_uncompressed(tmp_path, comp):
+    tr = sample_trace()
+    plain = write_trace(tr, tmp_path / "t.jsonl")
+    packed = write_trace(tr, tmp_path / f"t.jsonl{comp}")
+    assert streaming_digest(packed) == tr.digest()
+    assert streaming_digest(plain) == tr.digest()
+
+
+def test_stream_trace_is_lazy(tmp_path):
+    tr = sample_trace()
+    path = write_trace(tr, tmp_path / "t.jsonl.gz")
+    meta, events = stream_trace(path)
+    assert meta.program == "demo"
+    assert list(events) == tr.events
+    assert read_trace_meta(path).n_threads == 2
+    assert list(iter_trace_events(path)) == tr.events
+
+
+@pytest.mark.parametrize(
+    "name", ["t.JSONL.GZ", "t.Jsonl.Gz", "t.BIN.XZ", "t.jsonl.BZ2"]
+)
+def test_compression_suffix_case_insensitive(tmp_path, name):
+    tr = sample_trace()
+    path = write_trace(tr, tmp_path / name)
+    assert read_trace(path).events == tr.events
+
+
+def test_unrecognized_suffix_chain_named(tmp_path):
+    """The error names the whole suffix chain it could not place."""
+    with pytest.raises(ValueError, match=r"\.zip"):
+        write_trace(sample_trace(), tmp_path / "t.jsonl.zip")
+    with pytest.raises(ValueError, match=r"\.csv\.gz"):
+        write_trace(sample_trace(), tmp_path / "t.csv.gz")
+    with pytest.raises(ValueError, match=r"\.gz"):
+        read_trace(tmp_path / "t.gz")  # compression with no format under it
+
+
+def test_trace_format_dispatch():
+    from pathlib import Path
+
+    assert trace_format(Path("a.jsonl")) == (".jsonl", None)
+    assert trace_format(Path("a.bin.gz")) == (".bin", ".gz")
+    assert trace_format(Path("a.JSONL.XZ")) == (".jsonl", ".xz")
+
+
+def test_streaming_writer_compressed(tmp_path):
+    tr = sample_trace()
+    path = tmp_path / "s.jsonl.gz"
+    with TraceFileWriter(path, tr.meta) as w:
+        for ev in tr.events:
+            w.append(ev)
+    assert w.count == len(tr.events)
+    back = read_trace(path)
+    assert back.events == tr.events
+    assert back.digest() == tr.digest()
+
+
+def test_gzip_output_byte_deterministic(tmp_path):
+    """gzip embeds an mtime by default; ours must not (byte-stable
+    artifacts are part of the determinism contract)."""
+    import time
+
+    tr = sample_trace()
+    a = write_trace(tr, tmp_path / "a.jsonl.gz")
+    time.sleep(1.1)  # cross an mtime-second boundary
+    b = write_trace(tr, tmp_path / "b.jsonl.gz")
+    assert a.read_bytes() == b.read_bytes()
+
+    c = tmp_path / "c.jsonl.gz"
+    d = tmp_path / "d.jsonl.gz"
+    with TraceFileWriter(c, tr.meta) as w:
+        for ev in tr.events:
+            w.append(ev)
+    time.sleep(1.1)
+    with TraceFileWriter(d, tr.meta) as w:
+        for ev in tr.events:
+            w.append(ev)
+    assert c.read_bytes() == d.read_bytes()
+
+
+def test_corrupt_compressed_stream(tmp_path):
+    path = tmp_path / "t.jsonl.gz"
+    path.write_bytes(b"\x1f\x8b" + b"garbage-not-a-gzip-stream")
+    with pytest.raises(ValueError):
+        read_trace(path)
+
+
+@pytest.mark.parametrize("comp,mod", [(".gz", gzip), (".bz2", bz2), (".xz", lzma)])
+def test_foreign_compressed_file_reads(tmp_path, comp, mod):
+    """A file compressed by the stdlib tools directly (not our writer)
+    still reads — we dispatch on suffix, not on who wrote it."""
+    tr = sample_trace()
+    plain = write_trace(tr, tmp_path / "t.jsonl")
+    packed = tmp_path / f"t2.jsonl{comp}"
+    packed.write_bytes(mod.compress(plain.read_bytes()))
+    assert read_trace(packed).events == tr.events
